@@ -1,0 +1,88 @@
+// Command experiments regenerates every table and figure of the Pass-Join
+// paper's evaluation (§6) on the synthetic corpora:
+//
+//	table2    dataset statistics (Table 2)
+//	fig11     string length distributions (Figure 11)
+//	fig12     numbers of selected substrings per selection method (Figure 12)
+//	fig13     substring generation time (Figure 13)
+//	fig14     verification method comparison (Figure 14)
+//	fig15     Pass-Join vs ED-Join vs Trie-Join (Figure 15)
+//	fig16     scalability in dataset size (Figure 16)
+//	table3    index sizes (Table 3)
+//	ablation  extension experiments beyond the paper
+//	all       everything above, in order
+//
+// Corpus sizes scale with -scale small|medium|full; absolute numbers are
+// machine-dependent, the paper's SHAPES (orderings, ratios, crossovers) are
+// what EXPERIMENTS.md compares.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "corpus scale: small, medium or full")
+	seed := flag.Int64("seed", 1, "corpus generator seed")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cfg, err := newRunConfig(*scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	for _, cmd := range flag.Args() {
+		if err := run(cfg, cmd); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(cfg *runConfig, cmd string) error {
+	switch cmd {
+	case "table2":
+		return cfg.table2()
+	case "fig11":
+		return cfg.fig11()
+	case "fig12":
+		return cfg.fig12()
+	case "fig13":
+		return cfg.fig13()
+	case "fig14":
+		return cfg.fig14()
+	case "fig15":
+		return cfg.fig15()
+	case "fig16":
+		return cfg.fig16()
+	case "table3":
+		return cfg.table3()
+	case "ablation":
+		return cfg.ablation()
+	case "all":
+		for _, c := range []string{"table2", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table3", "ablation"} {
+			if err := run(cfg, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", cmd)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: experiments [-scale small|medium|full] [-seed N] <experiment>...
+
+experiments: table2 fig11 fig12 fig13 fig14 fig15 fig16 table3 ablation all
+%s`, strings.TrimLeft(`
+Each experiment prints the rows/series of the corresponding table or
+figure of the Pass-Join paper (PVLDB 5(3), 2011).
+`, "\n"))
+}

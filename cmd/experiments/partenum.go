@@ -1,0 +1,12 @@
+package main
+
+import (
+	"passjoin/internal/core"
+	"passjoin/internal/partenum"
+)
+
+// partEnumJoin runs the Part-Enum baseline with its customary small gram
+// length (large grams make the Hamming bound 2qτ vacuous on short strings).
+func partEnumJoin(strs []string, tau int) ([]core.Pair, error) {
+	return partenum.Join(strs, tau, 2, nil)
+}

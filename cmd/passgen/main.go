@@ -1,0 +1,49 @@
+// Command passgen generates the synthetic evaluation corpora (the
+// stand-ins for DBLP Author, AOL Query Log and DBLP Author+Title described
+// in DESIGN.md) as one-string-per-line text files.
+//
+//	passgen -corpus author -n 100000 -seed 1 -o author.txt
+//	passgen -corpus querylog -n 50000 > queries.txt
+//	passgen -stats -corpus authortitle -n 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"passjoin/internal/dataset"
+)
+
+func main() {
+	corpus := flag.String("corpus", "author", fmt.Sprintf("corpus to generate: %v", dataset.Names))
+	n := flag.Int("n", 10000, "number of strings")
+	seed := flag.Int64("seed", 1, "generator seed (same seed, same corpus)")
+	out := flag.String("o", "", "output path (default stdout)")
+	stats := flag.Bool("stats", false, "print Table 2 style statistics to stderr")
+	flag.Parse()
+
+	strs, err := dataset.ByName(*corpus, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		s := dataset.Summarize(strs)
+		fmt.Fprintf(os.Stderr, "%s: cardinality=%d avgLen=%.3f maxLen=%d minLen=%d bytes=%d\n",
+			*corpus, s.Cardinality, s.AvgLen, s.MaxLen, s.MinLen, s.TotalBytes)
+	}
+	if *out == "" {
+		if err := dataset.Save(os.Stdout, strs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := dataset.SaveFile(*out, strs); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "passgen:", err)
+	os.Exit(1)
+}

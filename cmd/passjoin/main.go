@@ -1,0 +1,120 @@
+// Command passjoin runs a string similarity join from the command line.
+//
+//	passjoin -tau 2 strings.txt                 self join
+//	passjoin -tau 2 r.txt s.txt                 R x S join
+//	passjoin -tau 2 -algo edjoin -q 3 in.txt    baseline algorithms
+//
+// Input files contain one string per line. Output is one result pair per
+// line: the two (0-based) line numbers and the two strings, tab-separated.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"passjoin/internal/core"
+	"passjoin/internal/dataset"
+	"passjoin/internal/edjoin"
+	"passjoin/internal/metrics"
+	"passjoin/internal/ngpp"
+	"passjoin/internal/partenum"
+	"passjoin/internal/selection"
+	"passjoin/internal/triejoin"
+)
+
+func main() {
+	tau := flag.Int("tau", 2, "edit-distance threshold")
+	algo := flag.String("algo", "passjoin", "join algorithm: passjoin, edjoin, allpairs, triejoin, triesearch, ngpp, partenum")
+	sel := flag.String("selection", "multimatch", "pass-join substring selection: multimatch, position, shift, length")
+	ver := flag.String("verify", "shareprefix", "pass-join verification: shareprefix, extension, lengthaware, naive")
+	q := flag.Int("q", 3, "gram length for edjoin/allpairs/partenum")
+	parallel := flag.Int("parallel", 1, "pass-join parallel probe workers (self join only)")
+	quiet := flag.Bool("quiet", false, "suppress result pairs, print summary only")
+	showStats := flag.Bool("stats", false, "print instrumentation counters to stderr")
+	flag.Parse()
+
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		fmt.Fprintln(os.Stderr, "usage: passjoin [flags] strings.txt [second-set.txt]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	strs, err := dataset.LoadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var sset []string
+	if flag.NArg() == 2 {
+		if sset, err = dataset.LoadFile(flag.Arg(1)); err != nil {
+			fatal(err)
+		}
+	}
+
+	st := &metrics.Stats{}
+	start := time.Now()
+	pairs, err := runJoin(strs, sset, *tau, *algo, *sel, *ver, *q, *parallel, st)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if !*quiet {
+		w := bufio.NewWriter(os.Stdout)
+		other := strs
+		if sset != nil {
+			other = sset
+		}
+		for _, p := range pairs {
+			fmt.Fprintf(w, "%d\t%d\t%s\t%s\n", p.R, p.S, strs[p.R], other[p.S])
+		}
+		w.Flush()
+	}
+	fmt.Fprintf(os.Stderr, "passjoin: %d pairs in %v (%d strings, tau=%d, algo=%s)\n",
+		len(pairs), elapsed.Round(time.Millisecond), len(strs)+len(sset), *tau, *algo)
+	if *showStats {
+		fmt.Fprintln(os.Stderr, "stats:", st)
+	}
+}
+
+func runJoin(strs, sset []string, tau int, algo, sel, ver string, q, parallel int, st *metrics.Stats) ([]core.Pair, error) {
+	if sset != nil && algo != "passjoin" {
+		return nil, fmt.Errorf("two-set joins are only implemented for -algo passjoin")
+	}
+	switch algo {
+	case "passjoin":
+		m, err := selection.ParseMethod(sel)
+		if err != nil {
+			return nil, err
+		}
+		vk, err := core.ParseVerifyKind(ver)
+		if err != nil {
+			return nil, err
+		}
+		opt := core.Options{Tau: tau, Selection: m, Verification: vk, Stats: st, Parallel: parallel}
+		if sset != nil {
+			return core.Join(strs, sset, opt)
+		}
+		return core.SelfJoin(strs, opt)
+	case "edjoin":
+		return edjoin.Join(strs, tau, q, st)
+	case "allpairs":
+		return edjoin.JoinConfig(strs, tau, edjoin.Config{Q: q}, st)
+	case "triejoin":
+		return triejoin.Join(strs, tau, st)
+	case "triesearch":
+		return triejoin.JoinSearch(strs, tau, st)
+	case "ngpp":
+		return ngpp.Join(strs, tau, st)
+	case "partenum":
+		return partenum.Join(strs, tau, q, st)
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", algo)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "passjoin:", err)
+	os.Exit(1)
+}

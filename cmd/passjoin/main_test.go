@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+
+	"passjoin/internal/bruteforce"
+	"passjoin/internal/metrics"
+)
+
+var corpus = []string{"vldb", "pvldb", "sigmod", "sigmmod", "icde", "vldbj"}
+
+func TestRunJoinAllAlgorithms(t *testing.T) {
+	want := len(bruteforce.SelfJoin(corpus, 2))
+	for _, algo := range []string{"passjoin", "edjoin", "allpairs", "triejoin", "partenum"} {
+		st := &metrics.Stats{}
+		pairs, err := runJoin(corpus, nil, 2, algo, "multimatch", "shareprefix", 2, 1, st)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(pairs) != want {
+			t.Errorf("%s: %d pairs, want %d", algo, len(pairs), want)
+		}
+	}
+}
+
+func TestRunJoinTwoSets(t *testing.T) {
+	r := []string{"vldb"}
+	s := []string{"pvldb", "icde"}
+	pairs, err := runJoin(r, s, 1, "passjoin", "multimatch", "shareprefix", 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].R != 0 || pairs[0].S != 0 {
+		t.Fatalf("pairs: %v", pairs)
+	}
+}
+
+func TestRunJoinTwoSetsRejectedForBaselines(t *testing.T) {
+	if _, err := runJoin([]string{"a"}, []string{"b"}, 1, "edjoin", "", "", 2, 1, nil); err == nil {
+		t.Error("two-set edjoin accepted")
+	}
+}
+
+func TestRunJoinBadFlags(t *testing.T) {
+	if _, err := runJoin(corpus, nil, 1, "nope", "multimatch", "shareprefix", 2, 1, nil); err == nil {
+		t.Error("unknown algo accepted")
+	}
+	if _, err := runJoin(corpus, nil, 1, "passjoin", "nope", "shareprefix", 2, 1, nil); err == nil {
+		t.Error("unknown selection accepted")
+	}
+	if _, err := runJoin(corpus, nil, 1, "passjoin", "multimatch", "nope", 2, 1, nil); err == nil {
+		t.Error("unknown verification accepted")
+	}
+}
+
+func TestRunJoinParallel(t *testing.T) {
+	seq, err := runJoin(corpus, nil, 2, "passjoin", "multimatch", "shareprefix", 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runJoin(corpus, nil, 2, "passjoin", "multimatch", "shareprefix", 2, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Errorf("parallel %d pairs vs %d", len(par), len(seq))
+	}
+}

@@ -1,0 +1,57 @@
+package passjoin_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"passjoin"
+)
+
+// TopK finds the closest pairs without choosing a threshold up front.
+func ExampleTopK() {
+	strs := []string{"vldb", "pvldb", "sigmod", "sigmmod", "icde"}
+	pairs, _ := passjoin.TopK(strs, 2)
+	for _, p := range pairs {
+		fmt.Printf("%s ~ %s (distance %d)\n", strs[p.R], strs[p.S], p.Dist)
+	}
+	// Output:
+	// vldb ~ pvldb (distance 1)
+	// sigmod ~ sigmmod (distance 1)
+}
+
+// A Searcher answers repeated approximate lookups against a fixed corpus.
+func ExampleNewSearcher() {
+	dict := []string{"british airways", "britney spears", "bright eyes"}
+	s, _ := passjoin.NewSearcher(dict, 2)
+	for _, hit := range s.Search("britny spears") {
+		fmt.Printf("%s (distance %d)\n", dict[hit.ID], hit.Dist)
+	}
+	// Output:
+	// britney spears (distance 1)
+}
+
+// SelfJoinEach streams results without materializing them — here, stopping
+// after the first match.
+func ExampleSelfJoinEach() {
+	strs := []string{"aaaa", "aaab", "bbbb", "aabb"}
+	_ = passjoin.SelfJoinEach(strs, 1, func(r, s int) bool {
+		fmt.Printf("first pair: %s ~ %s\n", strs[r], strs[s])
+		return false // stop after one
+	})
+	// Output:
+	// first pair: aaaa ~ aaab
+}
+
+// Searchers serialize to a compact snapshot and reload with the index
+// rebuilt.
+func ExampleSearcher_WriteTo() {
+	orig, _ := passjoin.NewSearcher([]string{"alpha", "beta", "gamma"}, 1)
+	var buf bytes.Buffer
+	orig.WriteTo(&buf)
+
+	loaded, _ := passjoin.ReadSearcherFrom(&buf)
+	hits := loaded.Search("betta")
+	fmt.Println(loaded.Len(), loaded.Tau(), loaded.At(hits[0].ID))
+	// Output:
+	// 3 1 beta
+}

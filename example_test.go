@@ -1,0 +1,64 @@
+package passjoin_test
+
+import (
+	"fmt"
+
+	"passjoin"
+)
+
+// The paper's running example (Table 1): at τ=3 exactly one pair is
+// similar.
+func ExampleSelfJoin() {
+	strs := []string{
+		"avataresha",
+		"caushik chakrabar",
+		"kaushic chaduri",
+		"kaushik chakrab",
+		"kaushuk chadhui",
+		"vankatesh",
+	}
+	pairs, _ := passjoin.SelfJoin(strs, 3)
+	for _, p := range pairs {
+		fmt.Printf("%s ~ %s\n", strs[p.R], strs[p.S])
+	}
+	// Output:
+	// caushik chakrabar ~ kaushik chakrab
+}
+
+func ExampleJoin() {
+	queries := []string{"britny spears", "new yrok times"}
+	entities := []string{"britney spears", "new york times", "los angeles times"}
+	pairs, _ := passjoin.Join(queries, entities, 2)
+	for _, p := range pairs {
+		fmt.Printf("%q -> %q\n", queries[p.R], entities[p.S])
+	}
+	// Output:
+	// "britny spears" -> "britney spears"
+	// "new yrok times" -> "new york times"
+}
+
+func ExampleNewMatcher() {
+	m, _ := passjoin.NewMatcher(1)
+	fmt.Println(m.Insert("vldb2011"))
+	fmt.Println(m.Insert("vldb2012"))
+	fmt.Println(m.Insert("icde2011"))
+	// Output:
+	// []
+	// [0]
+	// []
+}
+
+func ExampleWithStats() {
+	var st passjoin.Stats
+	strs := []string{"vldb", "pvldb", "vldbj", "sigmod", "sigmod rec"}
+	pairs, _ := passjoin.SelfJoin(strs, 1, passjoin.WithStats(&st))
+	fmt.Printf("pairs=%d results=%d strings=%d\n", len(pairs), st.Results, st.Strings)
+	// Output:
+	// pairs=2 results=2 strings=5
+}
+
+func ExampleEditDistance() {
+	fmt.Println(passjoin.EditDistance("kaushic chaduri", "kaushuk chadhui"))
+	// Output:
+	// 4
+}

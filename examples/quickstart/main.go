@@ -1,0 +1,45 @@
+// Quickstart: the paper's running example (Table 1 / Figure 1).
+//
+// Six strings are self-joined at τ=3; Pass-Join finds the single similar
+// pair <kaushik chakrab, caushik chakrabar>. The instrumentation shows the
+// candidate funnel: how few substrings were selected, how few candidates
+// were verified.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"passjoin"
+)
+
+func main() {
+	strs := []string{
+		"avataresha",
+		"caushik chakrabar",
+		"kaushic chaduri",
+		"kaushik chakrab",
+		"kaushuk chadhui",
+		"vankatesh",
+	}
+
+	var st passjoin.Stats
+	pairs, err := passjoin.SelfJoin(strs, 3, passjoin.WithStats(&st))
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("similar pairs at tau=3:\n")
+	for _, p := range pairs {
+		fmt.Printf("  ed(%q, %q) = %d\n", strs[p.R], strs[p.S], passjoin.EditDistance(strs[p.R], strs[p.S]))
+	}
+	fmt.Printf("\ncandidate funnel:\n")
+	fmt.Printf("  strings scanned       %d\n", st.Strings)
+	fmt.Printf("  substrings selected   %d\n", st.SelectedSubstrings)
+	fmt.Printf("  index lookups         %d\n", st.Lookups)
+	fmt.Printf("  lookup hits           %d\n", st.LookupHits)
+	fmt.Printf("  candidates            %d\n", st.Candidates)
+	fmt.Printf("  verifications         %d\n", st.Verifications)
+	fmt.Printf("  results               %d\n", st.Results)
+}

@@ -1,0 +1,88 @@
+// Spellcheck: approximate string search with the Searcher API — the
+// "approximate string searching" problem from the paper's related work,
+// answered with the same partition index that powers the join.
+//
+// A dictionary of author names is indexed once; misspelled queries are
+// answered with the closest dictionary entries, ranked by edit distance.
+//
+//	go run ./examples/spellcheck [-n 50000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"passjoin"
+	"passjoin/internal/dataset"
+)
+
+func main() {
+	n := flag.Int("n", 50000, "dictionary size")
+	tau := flag.Int("tau", 2, "maximum edit distance for suggestions")
+	flag.Parse()
+
+	dict := dataset.Author(*n, 21)
+	buildStart := time.Now()
+	s, err := passjoin.NewSearcher(dict, *tau)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("indexed %d dictionary entries in %v\n\n", s.Len(), time.Since(buildStart).Round(time.Millisecond))
+
+	// Misspell some dictionary entries and look them up.
+	rng := rand.New(rand.NewSource(5))
+	queries := 2000
+	found, totalHits := 0, 0
+	var qTime time.Duration
+	for i := 0; i < queries; i++ {
+		truth := dict[rng.Intn(len(dict))]
+		q := misspell(rng, truth, 1+rng.Intn(*tau))
+		start := time.Now()
+		hits := s.Search(q)
+		qTime += time.Since(start)
+		totalHits += len(hits)
+		ok := false
+		for _, h := range hits {
+			if dict[h.ID] == truth {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			found++
+		}
+		if i < 3 {
+			fmt.Printf("query %q:\n", q)
+			for k, h := range hits {
+				if k == 3 {
+					break
+				}
+				fmt.Printf("  %d. %q (distance %d)\n", k+1, dict[h.ID], h.Dist)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("%d/%d misspelled queries recovered their source entry\n", found, queries)
+	fmt.Printf("avg %.1f suggestions per query, %.2fms per lookup\n",
+		float64(totalHits)/float64(queries),
+		float64(qTime.Microseconds())/float64(queries)/1000)
+}
+
+func misspell(rng *rand.Rand, s string, k int) string {
+	b := []byte(s)
+	for e := 0; e < k; e++ {
+		switch op := rng.Intn(3); {
+		case op == 0 && len(b) > 0:
+			b[rng.Intn(len(b))] = byte('a' + rng.Intn(26))
+		case op == 1 && len(b) > 1:
+			i := rng.Intn(len(b))
+			b = append(b[:i], b[i+1:]...)
+		default:
+			i := rng.Intn(len(b) + 1)
+			b = append(b[:i], append([]byte{byte('a' + rng.Intn(26))}, b[i:]...)...)
+		}
+	}
+	return string(b)
+}

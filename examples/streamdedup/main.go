@@ -1,0 +1,63 @@
+// Streamdedup: online near-duplicate detection with the Matcher API — the
+// collaborative-filtering / duplicate-elimination workload from the
+// paper's introduction, but streaming: each arriving query is checked
+// against everything seen so far, immediately.
+//
+// A synthetic query log streams through a τ=2 Matcher; repeated or typo'd
+// queries are flagged as they arrive.
+//
+//	go run ./examples/streamdedup [-n 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"passjoin"
+	"passjoin/internal/dataset"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "stream length")
+	tau := flag.Int("tau", 2, "edit-distance threshold")
+	flag.Parse()
+
+	queries := dataset.QueryLog(*n, 11)
+	m, err := passjoin.NewMatcher(*tau)
+	if err != nil {
+		panic(err)
+	}
+
+	start := time.Now()
+	dupEvents, dupHits := 0, 0
+	var firstExamples []string
+	for _, q := range queries {
+		hits := m.Insert(q)
+		if len(hits) > 0 {
+			dupEvents++
+			dupHits += len(hits)
+			if len(firstExamples) < 3 {
+				firstExamples = append(firstExamples,
+					fmt.Sprintf("%q matched earlier %q", clip(q), clip(m.At(hits[0]))))
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("streamed %d queries in %v (%.0f queries/sec)\n",
+		len(queries), elapsed.Round(time.Millisecond),
+		float64(len(queries))/elapsed.Seconds())
+	fmt.Printf("%d queries were near-duplicates of earlier ones (%d total matches)\n",
+		dupEvents, dupHits)
+	for _, ex := range firstExamples {
+		fmt.Println("  " + ex)
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 48 {
+		return s[:45] + "..."
+	}
+	return s
+}

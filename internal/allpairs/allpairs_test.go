@@ -1,0 +1,97 @@
+package allpairs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"passjoin/internal/bruteforce"
+	"passjoin/internal/core"
+	"passjoin/internal/edjoin"
+	"passjoin/internal/metrics"
+)
+
+func corpus(rng *rand.Rand, n, maxLen, alpha int) []string {
+	strs := make([]string, 0, n)
+	for len(strs) < n {
+		if len(strs) > 0 && rng.Float64() < 0.5 {
+			b := []byte(strs[rng.Intn(len(strs))])
+			for e := 0; e < 1+rng.Intn(2); e++ {
+				switch op := rng.Intn(3); {
+				case op == 0 && len(b) > 0:
+					b[rng.Intn(len(b))] = byte('a' + rng.Intn(alpha))
+				case op == 1 && len(b) > 0:
+					i := rng.Intn(len(b))
+					b = append(b[:i], b[i+1:]...)
+				default:
+					i := rng.Intn(len(b) + 1)
+					b = append(b[:i], append([]byte{byte('a' + rng.Intn(alpha))}, b[i:]...)...)
+				}
+			}
+			strs = append(strs, string(b))
+		} else {
+			k := rng.Intn(maxLen + 1)
+			b := make([]byte, k)
+			for i := range b {
+				b[i] = byte('a' + rng.Intn(alpha))
+			}
+			strs = append(strs, string(b))
+		}
+	}
+	return strs
+}
+
+func TestAllPairsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	strs := corpus(rng, 110, 16, 3)
+	for tau := 0; tau <= 3; tau++ {
+		for _, q := range []int{2, 3} {
+			got, err := Join(strs, tau, q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make(map[core.Pair]bool)
+			for _, p := range bruteforce.SelfJoin(strs, tau) {
+				want[core.Pair{R: p.R, S: p.S}] = true
+			}
+			if len(got) != len(want) {
+				t.Fatalf("tau=%d q=%d: %d pairs, want %d", tau, q, len(got), len(want))
+			}
+			for _, p := range got {
+				if !want[p] {
+					t.Fatalf("tau=%d q=%d: spurious %v", tau, q, p)
+				}
+			}
+		}
+	}
+}
+
+// All-Pairs-Ed must generate at least as many prefix grams as ED-Join's
+// location-shortened prefix (the paper's claim that ED-Join dominates it).
+func TestAllPairsSelectsMoreGramsThanEdJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	strs := corpus(rng, 200, 40, 6)
+	tau, q := 2, 3
+	stAll := &metrics.Stats{}
+	stEd := &metrics.Stats{}
+	if _, err := Join(strs, tau, q, stAll); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := edjoin.Join(strs, tau, q, stEd); err != nil {
+		t.Fatal(err)
+	}
+	if stAll.SelectedSubstrings < stEd.SelectedSubstrings {
+		t.Errorf("all-pairs selected %d grams, edjoin %d", stAll.SelectedSubstrings, stEd.SelectedSubstrings)
+	}
+}
+
+func TestAllPairsBadArgs(t *testing.T) {
+	if _, err := Join([]string{"a"}, -1, 2, nil); err == nil {
+		t.Error("negative tau accepted")
+	}
+	if _, err := Join([]string{"a"}, 1, 0, nil); err == nil {
+		t.Error("q=0 accepted")
+	}
+}
+
+var _ = fmt.Sprintf

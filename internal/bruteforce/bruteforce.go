@@ -1,0 +1,57 @@
+// Package bruteforce provides the O(n²) reference similarity join used as
+// ground truth by tests and as a sanity baseline in small benchmarks. It
+// applies only the trivial length filter before running the banded
+// edit-distance verifier on every surviving pair.
+package bruteforce
+
+import (
+	"passjoin/internal/verify"
+)
+
+// Pair mirrors core.Pair without importing it (both are plain index pairs).
+type Pair struct{ R, S int32 }
+
+// SelfJoin returns every unordered pair (i, j), i < j, with
+// ed(strs[i], strs[j]) <= tau. Pairs are reported with the smaller original
+// index first; order of the result slice is unspecified.
+func SelfJoin(strs []string, tau int) []Pair {
+	var out []Pair
+	var v verify.Verifier
+	for i := 0; i < len(strs); i++ {
+		for j := i + 1; j < len(strs); j++ {
+			a, b := strs[i], strs[j]
+			if diff(len(a), len(b)) > tau {
+				continue
+			}
+			if v.Dist(a, b, tau) <= tau {
+				out = append(out, Pair{int32(i), int32(j)})
+			}
+		}
+	}
+	return out
+}
+
+// Join returns every pair (i, j) with ed(rset[i], sset[j]) <= tau.
+func Join(rset, sset []string, tau int) []Pair {
+	var out []Pair
+	var v verify.Verifier
+	for i := 0; i < len(rset); i++ {
+		for j := 0; j < len(sset); j++ {
+			a, b := rset[i], sset[j]
+			if diff(len(a), len(b)) > tau {
+				continue
+			}
+			if v.Dist(a, b, tau) <= tau {
+				out = append(out, Pair{int32(i), int32(j)})
+			}
+		}
+	}
+	return out
+}
+
+func diff(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

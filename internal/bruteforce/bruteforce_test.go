@@ -1,0 +1,84 @@
+package bruteforce
+
+import (
+	"testing"
+
+	"passjoin/internal/verify"
+)
+
+func TestSelfJoinTiny(t *testing.T) {
+	strs := []string{"abc", "abd", "xyz", "abcd"}
+	got := SelfJoin(strs, 1)
+	want := map[Pair]bool{
+		{0, 1}: true, // abc ~ abd
+		{0, 3}: true, // abc ~ abcd
+		{1, 3}: true, // abd ~ abcd (insert c)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Errorf("unexpected pair %v", p)
+		}
+		if p.R >= p.S {
+			t.Errorf("pair not normalized: %v", p)
+		}
+	}
+}
+
+func TestSelfJoinExhaustive(t *testing.T) {
+	strs := []string{"", "a", "ab", "ba", "abc"}
+	for tau := 0; tau <= 3; tau++ {
+		got := SelfJoin(strs, tau)
+		count := 0
+		for i := range strs {
+			for j := i + 1; j < len(strs); j++ {
+				if verify.EditDistance(strs[i], strs[j]) <= tau {
+					count++
+				}
+			}
+		}
+		if len(got) != count {
+			t.Errorf("tau=%d: %d pairs, want %d", tau, len(got), count)
+		}
+	}
+}
+
+func TestJoinCross(t *testing.T) {
+	r := []string{"vldb", "icde"}
+	s := []string{"pvldb", "icdm", "edbt"}
+	got := Join(r, s, 1)
+	want := map[Pair]bool{
+		{0, 0}: true, // vldb ~ pvldb
+		{1, 1}: true, // icde ~ icdm
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Errorf("unexpected %v", p)
+		}
+	}
+}
+
+func TestJoinEmptySides(t *testing.T) {
+	if got := Join(nil, []string{"a"}, 2); len(got) != 0 {
+		t.Error("empty R should yield nothing")
+	}
+	if got := Join([]string{"a"}, nil, 2); len(got) != 0 {
+		t.Error("empty S should yield nothing")
+	}
+	if got := SelfJoin(nil, 2); len(got) != 0 {
+		t.Error("empty self join")
+	}
+}
+
+func TestLengthFilterApplied(t *testing.T) {
+	// Pairs with |len diff| > tau must be skipped without verification.
+	strs := []string{"a", "abcdefgh"}
+	if got := SelfJoin(strs, 3); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}

@@ -1,0 +1,460 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"passjoin/internal/bruteforce"
+	"passjoin/internal/metrics"
+	"passjoin/internal/selection"
+)
+
+// paperStrings is Table 1 of the paper.
+var paperStrings = []string{
+	"avataresha",
+	"caushik chakrabar",
+	"kaushic chaduri",
+	"kaushik chakrab",
+	"kaushuk chadhui",
+	"vankatesh",
+}
+
+func TestPaperRunningExample(t *testing.T) {
+	// §3.2 / Figure 1: with tau=3 the only similar pair is
+	// <kaushik chakrab, caushik chakrabar> (s4, s6).
+	pairs, err := SelfJoin(paperStrings, Options{Tau: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("got %d pairs (%v), want 1", len(pairs), pairs)
+	}
+	r, s := paperStrings[pairs[0].R], paperStrings[pairs[0].S]
+	if !(r == "caushik chakrabar" && s == "kaushik chakrab" || r == "kaushik chakrab" && s == "caushik chakrabar") {
+		t.Fatalf("wrong pair: %q, %q", r, s)
+	}
+}
+
+func toSet(ps []Pair) map[Pair]bool {
+	m := make(map[Pair]bool, len(ps))
+	for _, p := range ps {
+		m[p] = true
+	}
+	return m
+}
+
+func brutePairs(strs []string, tau int) map[Pair]bool {
+	m := make(map[Pair]bool)
+	for _, p := range bruteforce.SelfJoin(strs, tau) {
+		m[Pair{p.R, p.S}] = true
+	}
+	return m
+}
+
+func checkEquiv(t *testing.T, label string, strs []string, tau int, got []Pair) {
+	t.Helper()
+	want := brutePairs(strs, tau)
+	gotSet := toSet(got)
+	if len(gotSet) != len(got) {
+		t.Fatalf("%s: duplicate pairs emitted (%d pairs, %d unique)", label, len(got), len(gotSet))
+	}
+	for p := range want {
+		if !gotSet[p] {
+			t.Errorf("%s: missing pair (%d,%d): %q ~ %q", label, p.R, p.S, strs[p.R], strs[p.S])
+		}
+	}
+	for p := range gotSet {
+		if !want[p] {
+			t.Errorf("%s: spurious pair (%d,%d): %q vs %q", label, p.R, p.S, strs[p.R], strs[p.S])
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+}
+
+func randomCorpus(rng *rand.Rand, n, maxLen, alpha int, mutRate float64, maxEdits int) []string {
+	strs := make([]string, 0, n)
+	for len(strs) < n {
+		if len(strs) > 0 && rng.Float64() < mutRate {
+			base := strs[rng.Intn(len(strs))]
+			strs = append(strs, mutateN(rng, base, 1+rng.Intn(maxEdits), alpha))
+		} else {
+			strs = append(strs, randStr(rng, rng.Intn(maxLen+1), alpha))
+		}
+	}
+	return strs
+}
+
+func randStr(rng *rand.Rand, n, alpha int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(alpha))
+	}
+	return string(b)
+}
+
+func mutateN(rng *rand.Rand, s string, k, alpha int) string {
+	b := []byte(s)
+	for e := 0; e < k; e++ {
+		switch op := rng.Intn(3); {
+		case op == 0 && len(b) > 0:
+			b[rng.Intn(len(b))] = byte('a' + rng.Intn(alpha))
+		case op == 1 && len(b) > 0:
+			i := rng.Intn(len(b))
+			b = append(b[:i], b[i+1:]...)
+		default:
+			i := rng.Intn(len(b) + 1)
+			b = append(b[:i], append([]byte{byte('a' + rng.Intn(alpha))}, b[i:]...)...)
+		}
+	}
+	return string(b)
+}
+
+// The heart of the test suite: every selection × verification combination
+// must reproduce the brute-force result set exactly, across thresholds and
+// adversarial corpora (duplicates, empty strings, strings shorter than
+// tau+1, highly repetitive strings).
+func TestSelfJoinEquivalenceMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	corpora := map[string][]string{
+		"random":     randomCorpus(rng, 120, 18, 3, 0.5, 3),
+		"repetitive": {"", "a", "aa", "aaa", "aaaa", "aaaaa", "aaaaaa", "aaaab", "abab", "ababab", "bababa", "aaaaaaa", "aaaaaab", "baaaaaa", "aab", "aba"},
+		"paper":      paperStrings,
+		"names":      randomCorpus(rng, 100, 24, 5, 0.6, 4),
+	}
+	for name, strs := range corpora {
+		for tau := 0; tau <= 4; tau++ {
+			for _, sel := range selection.Methods {
+				for _, vk := range VerifyKinds {
+					label := fmt.Sprintf("%s/tau=%d/%v/%v", name, tau, sel, vk)
+					got, err := SelfJoin(strs, Options{Tau: tau, Selection: sel, Verification: vk})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					checkEquiv(t, label, strs, tau, got)
+				}
+			}
+		}
+	}
+}
+
+func TestSelfJoinParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	strs := randomCorpus(rng, 300, 20, 3, 0.5, 3)
+	for tau := 0; tau <= 3; tau++ {
+		seq, err := SelfJoin(strs, Options{Tau: tau})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par, err := SelfJoin(strs, Options{Tau: tau, Parallel: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par) != len(seq) {
+				t.Fatalf("tau=%d workers=%d: %d pairs vs %d sequential", tau, workers, len(par), len(seq))
+			}
+			for i := range par {
+				if par[i] != seq[i] {
+					t.Fatalf("tau=%d workers=%d: pair %d differs: %v vs %v", tau, workers, i, par[i], seq[i])
+				}
+			}
+		}
+	}
+}
+
+func TestJoinRSEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rset := randomCorpus(rng, 80, 16, 3, 0.4, 3)
+	sset := randomCorpus(rng, 90, 16, 3, 0.4, 3)
+	// Seed cross-set similarity.
+	for i := 0; i < 25; i++ {
+		sset = append(sset, mutateN(rng, rset[rng.Intn(len(rset))], 1+rng.Intn(3), 3))
+	}
+	for tau := 0; tau <= 4; tau++ {
+		for _, vk := range VerifyKinds {
+			got, err := Join(rset, sset, Options{Tau: tau, Verification: vk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make(map[Pair]bool)
+			for _, p := range bruteforce.Join(rset, sset, tau) {
+				want[Pair{p.R, p.S}] = true
+			}
+			gotSet := toSet(got)
+			if len(gotSet) != len(got) {
+				t.Fatalf("tau=%d %v: duplicates in output", tau, vk)
+			}
+			if len(gotSet) != len(want) {
+				t.Fatalf("tau=%d %v: %d pairs, want %d", tau, vk, len(gotSet), len(want))
+			}
+			for p := range want {
+				if !gotSet[p] {
+					t.Fatalf("tau=%d %v: missing %v", tau, vk, p)
+				}
+			}
+		}
+	}
+}
+
+func TestJoinRSParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	rset := randomCorpus(rng, 120, 16, 3, 0.4, 3)
+	sset := randomCorpus(rng, 140, 16, 3, 0.4, 3)
+	for tau := 0; tau <= 3; tau++ {
+		seq, err := Join(rset, sset, Options{Tau: tau})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 5} {
+			par, err := Join(rset, sset, Options{Tau: tau, Parallel: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par) != len(seq) {
+				t.Fatalf("tau=%d workers=%d: %d pairs vs %d", tau, workers, len(par), len(seq))
+			}
+			for i := range par {
+				if par[i] != seq[i] {
+					t.Fatalf("tau=%d workers=%d: pair %d differs", tau, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestJoinRSAsymmetricSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	small := []string{"vldb", "sigmod", "icde"}
+	big := randomCorpus(rng, 60, 12, 4, 0.3, 2)
+	big = append(big, "pvldb", "vldbj", "sigmmod", "icdm")
+	got, err := Join(small, big, Options{Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteforce.Join(small, big, 2)
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+}
+
+func TestSelfJoinEmptyAndTinyInputs(t *testing.T) {
+	if got, err := SelfJoin(nil, Options{Tau: 2}); err != nil || len(got) != 0 {
+		t.Fatalf("nil input: %v %v", got, err)
+	}
+	if got, err := SelfJoin([]string{"solo"}, Options{Tau: 2}); err != nil || len(got) != 0 {
+		t.Fatalf("single input: %v %v", got, err)
+	}
+	got, err := SelfJoin([]string{"", ""}, Options{Tau: 0})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("two empty strings at tau=0: %v %v", got, err)
+	}
+}
+
+func TestSelfJoinTauZeroIsExactDuplicates(t *testing.T) {
+	strs := []string{"x", "y", "x", "z", "y", "x"}
+	got, err := SelfJoin(strs, Options{Tau: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x appears 3 times (3 pairs), y twice (1 pair).
+	if len(got) != 4 {
+		t.Fatalf("got %v, want 4 duplicate pairs", got)
+	}
+	checkEquiv(t, "tau0", strs, 0, got)
+}
+
+func TestNegativeTauRejected(t *testing.T) {
+	if _, err := SelfJoin([]string{"a"}, Options{Tau: -1}); err == nil {
+		t.Error("SelfJoin accepted negative tau")
+	}
+	if _, err := Join([]string{"a"}, []string{"b"}, Options{Tau: -1}); err == nil {
+		t.Error("Join accepted negative tau")
+	}
+	if _, err := NewMatcher(-1, selection.MultiMatch, VerifyExtensionShared, nil); err == nil {
+		t.Error("NewMatcher accepted negative tau")
+	}
+}
+
+func TestShortStringsAllLengths(t *testing.T) {
+	// Everything at or below tau bypasses the index; mix with longer ones.
+	strs := []string{"", "a", "b", "ab", "ba", "abc", "abcd", "abcde", "xyz", "xy", "x", ""}
+	for tau := 0; tau <= 4; tau++ {
+		got, err := SelfJoin(strs, Options{Tau: tau})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEquiv(t, fmt.Sprintf("shorts tau=%d", tau), strs, tau, got)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	strs := randomCorpus(rng, 150, 15, 3, 0.5, 3)
+	st := &metrics.Stats{}
+	got, err := SelfJoin(strs, Options{Tau: 2, Stats: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Results != int64(len(got)) {
+		t.Errorf("Results=%d, want %d", st.Results, len(got))
+	}
+	if st.Strings != int64(len(strs)) {
+		t.Errorf("Strings=%d, want %d", st.Strings, len(strs))
+	}
+	if st.SelectedSubstrings == 0 || st.Lookups == 0 {
+		t.Error("selection counters not recorded")
+	}
+	if st.Verifications == 0 || st.Candidates == 0 {
+		t.Error("verification counters not recorded")
+	}
+	if st.IndexBytes <= 0 || st.IndexEntries <= 0 {
+		t.Error("index size not recorded")
+	}
+}
+
+func TestMatcherMatchesOfflineJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	strs := randomCorpus(rng, 150, 14, 3, 0.5, 3)
+	for tau := 0; tau <= 3; tau++ {
+		m, err := NewMatcher(tau, selection.MultiMatch, VerifyExtensionShared, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Pair
+		for i, s := range strs {
+			for _, rid := range m.Insert(s) {
+				got = append(got, normalize(rid, int32(i)))
+			}
+		}
+		SortPairs(got)
+		checkEquiv(t, fmt.Sprintf("matcher tau=%d", tau), strs, tau, got)
+		if m.Len() != len(strs) {
+			t.Fatalf("matcher Len=%d", m.Len())
+		}
+	}
+}
+
+func TestMatcherArbitraryOrderIncludesLongerStrings(t *testing.T) {
+	// Insert long before short: probe must look upward in length.
+	m, err := NewMatcher(2, selection.MultiMatch, VerifyExtensionShared, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := m.Insert("abcdefgh"); len(ids) != 0 {
+		t.Fatalf("first insert matched %v", ids)
+	}
+	if ids := m.Insert("abcdef"); len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("shorter insert matched %v, want [0]", ids)
+	}
+	if ids := m.Query("abcdefg"); len(ids) != 2 {
+		t.Fatalf("query matched %v, want both", ids)
+	}
+	if m.String(1) != "abcdef" {
+		t.Fatalf("String(1) = %q", m.String(1))
+	}
+}
+
+func TestMatcherQueryDoesNotInsert(t *testing.T) {
+	m, _ := NewMatcher(1, selection.MultiMatch, VerifyExtensionShared, nil)
+	m.Insert("hello")
+	if n := m.Len(); n != 1 {
+		t.Fatal("insert failed")
+	}
+	m.Query("hella")
+	if n := m.Len(); n != 1 {
+		t.Fatal("query inserted")
+	}
+}
+
+func TestSelectionScanCountsOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var strs []string
+	for i := 0; i < 200; i++ {
+		strs = append(strs, randStr(rng, 10+rng.Intn(10), 4))
+	}
+	tau := 3
+	counts := make(map[selection.Method]int64)
+	for _, m := range selection.Methods {
+		c, _ := SelectionScan(strs, tau, m)
+		counts[m] = c
+	}
+	if !(counts[selection.MultiMatch] < counts[selection.Position] &&
+		counts[selection.Position] < counts[selection.Shift] &&
+		counts[selection.Shift] < counts[selection.Length]) {
+		t.Fatalf("selection counts not ordered: %v", counts)
+	}
+}
+
+func TestSelectionScanBoundsEngineCounter(t *testing.T) {
+	// The standalone scan enumerates windows for every indexed length in
+	// [|s|−τ, |s|]; the engine only enumerates for length groups that exist
+	// at probe time (earlier strings), so its counter is bounded by the scan.
+	var strs []string
+	for l := 8; l <= 14; l++ {
+		for k := 0; k < 5; k++ {
+			strs = append(strs, strings.Repeat(string(rune('a'+k)), l))
+		}
+	}
+	tau := 2
+	scan, _ := SelectionScan(strs, tau, selection.MultiMatch)
+	st := &metrics.Stats{}
+	if _, err := SelfJoin(strs, Options{Tau: tau, Stats: st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.SelectedSubstrings == 0 || st.SelectedSubstrings > scan {
+		t.Fatalf("engine counted %d selected substrings, scan bound %d", st.SelectedSubstrings, scan)
+	}
+}
+
+func TestIndexFootprint(t *testing.T) {
+	strs := []string{"abcdef", "ghijkl", "mnopqr"}
+	bytes, entries := IndexFootprint(strs, 2)
+	if entries != 9 {
+		t.Errorf("entries=%d, want 9", entries)
+	}
+	if bytes <= 0 {
+		t.Errorf("bytes=%d", bytes)
+	}
+}
+
+func TestVerifyKindStrings(t *testing.T) {
+	for _, k := range VerifyKinds {
+		name := k.String()
+		got, err := ParseVerifyKind(name)
+		if err != nil || got != k {
+			t.Errorf("ParseVerifyKind(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseVerifyKind("nope"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestExtensionRetriesRejectedAlignments(t *testing.T) {
+	// Construct a pair that matches on multiple segments where the first
+	// alignment alone may reject: identical strings match every segment.
+	strs := []string{"abcabcabcabc", "abcabcabcabc", "abcabcabcabd"}
+	for _, vk := range []VerifyKind{VerifyExtension, VerifyExtensionShared} {
+		got, err := SelfJoin(strs, Options{Tau: 2, Verification: vk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEquiv(t, vk.String(), strs, 2, got)
+	}
+}
+
+func TestLargeTauRelativeToLengths(t *testing.T) {
+	// tau larger than every string length: all pairs within length window.
+	strs := []string{"a", "bb", "ccc", "dddd", "ab", "bc"}
+	for tau := 4; tau <= 6; tau++ {
+		got, err := SelfJoin(strs, Options{Tau: tau})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEquiv(t, fmt.Sprintf("bigtau=%d", tau), strs, tau, got)
+	}
+}

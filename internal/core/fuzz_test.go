@@ -1,0 +1,45 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"passjoin/internal/bruteforce"
+)
+
+// FuzzSelfJoin differential-tests the full engine against brute force on
+// fuzzer-chosen corpora (newline-separated strings). The seed corpus runs
+// under plain `go test`; use `go test -fuzz=FuzzSelfJoin` for more.
+func FuzzSelfJoin(f *testing.F) {
+	f.Add("abc\nabd\nxyz\nabcd", 1)
+	f.Add("a\n\nb\naa\nab", 2)
+	f.Add("aaaa\naaab\nbaaa\naabb", 3)
+	f.Add("kaushik chakrab\ncaushik chakrabar", 3)
+	f.Fuzz(func(t *testing.T, blob string, tau int) {
+		if tau < 0 || tau > 5 || len(blob) > 600 {
+			t.Skip()
+		}
+		strs := strings.Split(blob, "\n")
+		if len(strs) > 40 {
+			t.Skip()
+		}
+		want := make(map[Pair]bool)
+		for _, p := range bruteforce.SelfJoin(strs, tau) {
+			want[Pair{R: p.R, S: p.S}] = true
+		}
+		for _, vk := range VerifyKinds {
+			got, err := SelfJoin(strs, Options{Tau: tau, Verification: vk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v: %d pairs, want %d (corpus %q tau=%d)", vk, len(got), len(want), strs, tau)
+			}
+			for _, p := range got {
+				if !want[p] {
+					t.Fatalf("%v: spurious %v", vk, p)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"passjoin/internal/index"
+	"passjoin/internal/metrics"
+	"passjoin/internal/selection"
+)
+
+// Matcher is the online variant of the join: strings are inserted in any
+// order, and each insertion reports the previously inserted strings within
+// the threshold. It is the paper's framework without the sorted scan — the
+// index keeps every length group live and probes lengths on both sides of
+// the current string, which the selection windows already support (Δ may be
+// negative).
+//
+// Matcher powers streaming deduplication workloads: feed records as they
+// arrive, react to near-duplicates immediately.
+type Matcher struct {
+	tau  int
+	p    *prober
+	idx  *index.Index
+	strs []string
+	// shorts lists inserted strings with length <= tau, which bypass the
+	// segment index.
+	shorts []int32
+	st     *metrics.Stats
+	epoch  int32
+}
+
+// NewMatcher creates an online matcher for threshold tau.
+func NewMatcher(tau int, sel selection.Method, vk VerifyKind, st *metrics.Stats) (*Matcher, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("core: negative threshold %d", tau)
+	}
+	m := &Matcher{
+		tau: tau,
+		idx: index.New(tau),
+		st:  st,
+	}
+	m.p = newProber(tau, sel, vk, st, m.idx, nil)
+	return m, nil
+}
+
+// Len returns the number of inserted strings.
+func (m *Matcher) Len() int { return len(m.strs) }
+
+// String returns the id-th inserted string.
+func (m *Matcher) String(id int) string { return m.strs[id] }
+
+// Query reports ids of previously inserted strings within the threshold of
+// s, without inserting s. Results are sorted ascending.
+func (m *Matcher) Query(s string) []int32 {
+	out := m.match(s)
+	m.epoch++
+	if m.st != nil {
+		m.st.Results += int64(len(out))
+	}
+	return out
+}
+
+// Insert adds s and returns the ids of previously inserted strings within
+// the threshold (sorted ascending). The returned id of s itself is
+// len-1 after insertion; duplicates are distinct ids.
+func (m *Matcher) Insert(s string) []int32 {
+	out := m.match(s)
+	id := int32(len(m.strs))
+	m.strs = append(m.strs, s)
+	if len(s) >= m.tau+1 {
+		m.idx.Add(id, s)
+	} else {
+		m.shorts = append(m.shorts, id)
+		if m.st != nil {
+			m.st.ShortStrings++
+		}
+	}
+	// Grow the prober's stamp arrays alongside.
+	m.p.checked = append(m.p.checked, -1)
+	m.p.accepted = append(m.p.accepted, -1)
+	m.p.ref = m.strs
+	m.epoch++
+	if m.st != nil {
+		m.st.Strings++
+		m.st.Results += int64(len(out))
+		if b := m.idx.Bytes(); b > m.st.IndexBytes {
+			m.st.IndexBytes = b
+			m.st.IndexEntries = m.idx.Entries()
+		}
+	}
+	return out
+}
+
+// Snapshot returns a read-only fork of the matcher: it shares the built
+// index and corpus but owns fresh verifier scratch and deduplication
+// stamps, so Query on the fork and on the original can run concurrently.
+// Inserting into a snapshot (or into the original after snapshotting, while
+// forks are querying) is not supported.
+func (m *Matcher) Snapshot() *Matcher {
+	n := &Matcher{
+		tau:    m.tau,
+		idx:    m.idx,
+		strs:   m.strs,
+		shorts: m.shorts,
+	}
+	n.p = newProber(m.p.tau, m.p.sel, m.p.vk, nil, m.idx, m.strs)
+	return n
+}
+
+// InsertSilent adds s without reporting matches — the bulk-loading path
+// used to build a static search index.
+func (m *Matcher) InsertSilent(s string) {
+	id := int32(len(m.strs))
+	m.strs = append(m.strs, s)
+	if len(s) >= m.tau+1 {
+		m.idx.Add(id, s)
+	} else {
+		m.shorts = append(m.shorts, id)
+		if m.st != nil {
+			m.st.ShortStrings++
+		}
+	}
+	m.p.checked = append(m.p.checked, -1)
+	m.p.accepted = append(m.p.accepted, -1)
+	m.p.ref = m.strs
+	if m.st != nil {
+		m.st.Strings++
+	}
+}
+
+func (m *Matcher) match(s string) []int32 {
+	m.p.ref = m.strs
+	m.p.epoch = m.epoch
+	m.p.probe(s, len(s)-m.tau, len(s)+m.tau)
+	out := append([]int32(nil), m.p.hits...)
+	for _, rid := range m.shorts {
+		if absInt(len(m.strs[rid])-len(s)) > m.tau {
+			continue
+		}
+		if m.p.verifyDirect(m.strs[rid], s) {
+			out = append(out, rid)
+		}
+	}
+	sortInt32(out)
+	return out
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"passjoin/internal/metrics"
+	"passjoin/internal/selection"
+)
+
+func TestMatcherStats(t *testing.T) {
+	st := &metrics.Stats{}
+	m, err := NewMatcher(2, selection.MultiMatch, VerifyExtensionShared, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Insert("hello")
+	m.Insert("hallo")
+	m.Insert("x") // short string (len <= tau)
+	if st.Strings != 3 || st.ShortStrings != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.Results != 1 {
+		t.Errorf("results: %d", st.Results)
+	}
+}
+
+func TestMatcherShortStringBothDirections(t *testing.T) {
+	m, err := NewMatcher(2, selection.MultiMatch, VerifyExtensionShared, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short first, long later: the long probe must see the short string.
+	if got := m.Insert("a"); len(got) != 0 {
+		t.Fatalf("first: %v", got)
+	}
+	if got := m.Insert("abc"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("long-after-short: %v", got)
+	}
+	// Long first, short later: the short probe must see both earlier
+	// strings ("b"~"a" at ed 1, "b"~"abc" at ed 2).
+	if got := m.Insert("b"); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("short-after: %v", got)
+	}
+}
+
+func TestMatcherSnapshotConcurrencySafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	m, err := NewMatcher(1, selection.MultiMatch, VerifyExtensionShared, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corpus []string
+	for i := 0; i < 100; i++ {
+		corpus = append(corpus, randStr(rng, 4+rng.Intn(8), 3))
+		m.InsertSilent(corpus[i])
+	}
+	snap := m.Snapshot()
+	for _, q := range corpus[:20] {
+		a := m.Query(q)
+		b := snap.Query(q)
+		if len(a) != len(b) {
+			t.Fatalf("snapshot disagrees on %q: %v vs %v", q, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("snapshot hit %d differs for %q", i, q)
+			}
+		}
+	}
+	if snap.Len() != m.Len() {
+		t.Errorf("snapshot Len %d vs %d", snap.Len(), m.Len())
+	}
+}
+
+func TestMatcherAllVerifyKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	strs := randomCorpus(rng, 120, 14, 3, 0.5, 2)
+	tau := 2
+	// Reference result from the default kind.
+	var want int
+	for _, vk := range VerifyKinds {
+		m, err := NewMatcher(tau, selection.MultiMatch, vk, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, s := range strs {
+			total += len(m.Insert(s))
+		}
+		if vk == VerifyKinds[0] {
+			want = total
+		} else if total != want {
+			t.Errorf("%v: %d matches, want %d", vk, total, want)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"passjoin/internal/index"
+	"passjoin/internal/metrics"
+	"passjoin/internal/partition"
+	"passjoin/internal/selection"
+	"passjoin/internal/verify"
+)
+
+// prober owns the per-scan state of one join direction: the segment index
+// being probed, the verifier scratch space, and the deduplication stamps.
+// It is single-goroutine state; the parallel mode gives each worker its own
+// prober.
+type prober struct {
+	tau int
+	sel selection.Method
+	vk  VerifyKind
+	st  *metrics.Stats
+
+	idx *index.Index
+	ref []string // indexed strings by id
+
+	ver        verify.Verifier
+	incL, incR verify.Incremental
+
+	// checked stamps definitive verifications (full-string verifiers);
+	// accepted stamps emitted results (extension verifiers must retry
+	// rejected pairs at other alignments). Both indexed by candidate id,
+	// valued with the probe epoch.
+	checked  []int32
+	accepted []int32
+	epoch    int32
+
+	// maxID, when >= 0, filters candidates to ids < maxID (parallel mode
+	// probes a full index but must only pair with predecessors).
+	maxID int32
+
+	// hits collects accepted candidate ids for the current probe.
+	hits []int32
+}
+
+func newProber(tau int, sel selection.Method, vk VerifyKind, st *metrics.Stats, idx *index.Index, ref []string) *prober {
+	p := &prober{
+		tau:   tau,
+		sel:   sel,
+		vk:    vk,
+		st:    st,
+		idx:   idx,
+		ref:   ref,
+		maxID: -1,
+	}
+	p.ver.Stats = st
+	p.incL.Stats = st
+	p.incR.Stats = st
+	p.checked = make([]int32, len(ref))
+	p.accepted = make([]int32, len(ref))
+	for i := range p.checked {
+		p.checked[i] = -1
+		p.accepted[i] = -1
+	}
+	return p
+}
+
+// probe finds all indexed strings with lengths in [lmin, lmax] similar to s
+// and records their ids in p.hits. p.epoch must be unique per call.
+func (p *prober) probe(s string, lmin, lmax int) {
+	p.hits = p.hits[:0]
+	tau := p.tau
+	if lmin < tau+1 {
+		lmin = tau + 1
+	}
+	for l := lmin; l <= lmax; l++ {
+		g := p.idx.Group(l)
+		if g == nil {
+			continue
+		}
+		for i := 1; i <= tau+1; i++ {
+			pi := partition.SegPos(l, tau, i)
+			li := partition.SegLen(l, tau, i)
+			lo, hi := p.sel.Window(len(s), l, tau, i, pi, li)
+			if hi < lo {
+				continue
+			}
+			if p.st != nil {
+				p.st.SelectedSubstrings += int64(hi - lo + 1)
+				p.st.Lookups += int64(hi - lo + 1)
+			}
+			for pos := lo; pos <= hi; pos++ {
+				w := s[pos-1 : pos-1+li]
+				lst := g.List(i, w)
+				if len(lst) == 0 {
+					continue
+				}
+				if p.st != nil {
+					p.st.LookupHits++
+				}
+				p.handleList(s, lst, i, pos, pi, li)
+			}
+		}
+	}
+}
+
+// handleList verifies every candidate on one inverted list. s matched the
+// i-th segment (start pi, length li, of indexed strings) with its substring
+// at 1-based position pos.
+func (p *prober) handleList(s string, lst []int32, i, pos, pi, li int) {
+	switch p.vk {
+	case VerifyNaive, VerifyLengthAware, VerifyMyers:
+		p.verifyWhole(s, lst)
+	default:
+		p.verifyExtension(s, lst, i, pos, pi, li)
+	}
+}
+
+// verifyWhole verifies candidates with a whole-string banded DP. The
+// verdict does not depend on the matched alignment, so each pair is checked
+// at most once per probe (checked stamp).
+func (p *prober) verifyWhole(s string, lst []int32) {
+	tau := p.tau
+	for _, rid := range lst {
+		if p.maxID >= 0 && rid >= p.maxID {
+			continue
+		}
+		if p.st != nil {
+			p.st.Candidates++
+		}
+		if p.checked[rid] == p.epoch {
+			continue
+		}
+		p.checked[rid] = p.epoch
+		if p.st != nil {
+			p.st.UniqueCandidates++
+			p.st.Verifications++
+		}
+		var d int
+		switch p.vk {
+		case VerifyNaive:
+			d = p.ver.DistNaive(p.ref[rid], s, tau)
+		case VerifyMyers:
+			d = p.ver.DistMyers(p.ref[rid], s, tau)
+		default:
+			d = p.ver.Dist(p.ref[rid], s, tau)
+		}
+		if d <= tau {
+			p.hits = append(p.hits, rid)
+		}
+	}
+}
+
+// verifyExtension verifies candidates with the extension-based method of
+// §5.2: split both strings at the matched segment, verify the left parts
+// under τl = i−1 and the right parts under τr = τ+1−i. A pair rejected here
+// may still be accepted at a later alignment (the completeness argument
+// guarantees some alignment passes for every similar pair), so only
+// accepted pairs are stamped.
+func (p *prober) verifyExtension(s string, lst []int32, i, pos, pi, li int) {
+	tauL := i - 1
+	tauR := p.tau + 1 - i
+	sl := s[:pos-1]
+	sr := s[pos-1+li:]
+	shared := p.vk == VerifyExtensionShared
+	if shared {
+		p.incL.Reset(sl, tauL)
+		p.incR.Reset(sr, tauR)
+	}
+	for _, rid := range lst {
+		if p.maxID >= 0 && rid >= p.maxID {
+			continue
+		}
+		if p.st != nil {
+			p.st.Candidates++
+		}
+		if p.accepted[rid] == p.epoch {
+			continue
+		}
+		if p.st != nil {
+			p.st.Verifications++
+		}
+		r := p.ref[rid]
+		rl := r[:pi-1]
+		rr := r[pi-1+li:]
+		var dl int
+		if shared {
+			dl = p.incL.Dist(rl)
+		} else {
+			dl = p.ver.Dist(rl, sl, tauL)
+		}
+		if dl > tauL {
+			continue
+		}
+		var dr int
+		if shared {
+			dr = p.incR.Dist(rr)
+		} else {
+			dr = p.ver.Dist(rr, sr, tauR)
+		}
+		if dr > tauR {
+			continue
+		}
+		p.accepted[rid] = p.epoch
+		p.hits = append(p.hits, rid)
+	}
+}
+
+// verifyDirect verifies one candidate with the whole-string verifier,
+// bypassing segment context. Used for the short-string side list.
+func (p *prober) verifyDirect(r, s string) bool {
+	if p.st != nil {
+		p.st.Candidates++
+		p.st.UniqueCandidates++
+		p.st.Verifications++
+	}
+	return p.ver.Dist(r, s, p.tau) <= p.tau
+}

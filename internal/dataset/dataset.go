@@ -1,0 +1,319 @@
+// Package dataset synthesizes the three corpora of the Pass-Join
+// evaluation (§6, Table 2) and provides loading, saving and summary
+// statistics. The paper's exact snapshots (DBLP Author, AOL Query Log,
+// DBLP Author+Title) are not redistributable, so seeded generators
+// reproduce their regimes instead:
+//
+//	Author      short person names        (paper: avg 14.8, min 6, max 46)
+//	QueryLog    multi-word search queries (paper: avg 44.8, min 30, max 522)
+//	AuthorTitle author plus paper title   (paper: avg 105.8, min 21, max 886)
+//
+// Zipfian token reuse gives realistic gram/segment sharing, and a fraction
+// of every corpus consists of typo-mutated copies of earlier strings so
+// joins produce non-trivial result sets at the paper's thresholds.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+)
+
+// Names lists the built-in corpus generators.
+var Names = []string{"author", "querylog", "authortitle"}
+
+// ByName generates n strings of the named corpus with the given seed.
+func ByName(name string, n int, seed int64) ([]string, error) {
+	switch name {
+	case "author":
+		return Author(n, seed), nil
+	case "querylog":
+		return QueryLog(n, seed), nil
+	case "authortitle":
+		return AuthorTitle(n, seed), nil
+	}
+	return nil, fmt.Errorf("dataset: unknown corpus %q (have %v)", name, Names)
+}
+
+// dupRate is the fraction of strings that are typo-mutated copies of
+// earlier strings; it controls join-result density.
+const dupRate = 0.25
+
+// Author generates n short person-name strings ("first last", occasionally
+// with a middle initial), avg length ≈ 15.
+func Author(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	g := newNameGen(rng)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		if len(out) > 4 && rng.Float64() < dupRate {
+			out = append(out, clampLen(mutate(rng, out[rng.Intn(len(out))], 1+rng.Intn(4)), 6, 46))
+			continue
+		}
+		var b strings.Builder
+		b.WriteString(g.name(3 + rng.Intn(4)))
+		if rng.Float64() < 0.15 {
+			b.WriteByte(' ')
+			b.WriteByte(byte('a' + rng.Intn(26)))
+			b.WriteByte('.')
+		}
+		if rng.Float64() < 0.1 { // second given name
+			b.WriteByte(' ')
+			b.WriteString(g.name(3 + rng.Intn(4)))
+		}
+		b.WriteByte(' ')
+		b.WriteString(g.name(4 + rng.Intn(6)))
+		if rng.Float64() < 0.06 { // double-barreled surname (long tail)
+			b.WriteByte('-')
+			b.WriteString(g.name(5 + rng.Intn(8)))
+		}
+		out = append(out, clampLen(b.String(), 6, 46))
+	}
+	return out
+}
+
+// QueryLog generates n multi-word query strings, avg length ≈ 45, min 30,
+// with a heavy tail reaching several hundred characters.
+func QueryLog(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := buildVocab(rng, 4000, 3, 10)
+	zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(len(vocab)-1))
+	out := make([]string, 0, n)
+	for len(out) < n {
+		if len(out) > 4 && rng.Float64() < dupRate {
+			m := mutate(rng, out[rng.Intn(len(out))], 1+rng.Intn(6))
+			if len(m) >= 30 {
+				out = append(out, m)
+				continue
+			}
+		}
+		target := 30 + int(rng.ExpFloat64()*12)
+		if rng.Float64() < 0.002 {
+			target = 200 + rng.Intn(320) // heavy tail
+		}
+		var b strings.Builder
+		for b.Len() < target {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(vocab[zipf.Uint64()])
+		}
+		out = append(out, clampLen(b.String(), 30, 522))
+	}
+	return out
+}
+
+// AuthorTitle generates n "author: long title" strings, avg length ≈ 105.
+func AuthorTitle(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	g := newNameGen(rng)
+	vocab := buildVocab(rng, 9000, 3, 12)
+	zipf := rand.NewZipf(rng, 1.15, 1.0, uint64(len(vocab)-1))
+	out := make([]string, 0, n)
+	for len(out) < n {
+		if len(out) > 4 && rng.Float64() < dupRate {
+			out = append(out, clampLen(mutate(rng, out[rng.Intn(len(out))], 1+rng.Intn(8)), 21, 886))
+			continue
+		}
+		var b strings.Builder
+		b.WriteString(g.name(3 + rng.Intn(3)))
+		b.WriteByte(' ')
+		b.WriteString(g.name(4 + rng.Intn(4)))
+		b.WriteString(": ")
+		target := 20 + int(rng.ExpFloat64()*72)
+		if rng.Float64() < 0.002 {
+			target = 500 + rng.Intn(380)
+		}
+		for b.Len() < target {
+			b.WriteString(vocab[zipf.Uint64()])
+			b.WriteByte(' ')
+		}
+		out = append(out, clampLen(strings.TrimRight(b.String(), " "), 21, 886))
+	}
+	return out
+}
+
+// clampLen pads (with vowels) or truncates s into [lo, hi].
+func clampLen(s string, lo, hi int) string {
+	if len(s) > hi {
+		return s[:hi]
+	}
+	for len(s) < lo {
+		s += "a"
+	}
+	return s
+}
+
+// mutate applies k random character edits (the typo model).
+func mutate(rng *rand.Rand, s string, k int) string {
+	b := []byte(s)
+	for e := 0; e < k; e++ {
+		switch op := rng.Intn(3); {
+		case op == 0 && len(b) > 0:
+			b[rng.Intn(len(b))] = byte('a' + rng.Intn(26))
+		case op == 1 && len(b) > 1:
+			i := rng.Intn(len(b))
+			b = append(b[:i], b[i+1:]...)
+		default:
+			i := rng.Intn(len(b) + 1)
+			b = append(b[:i], append([]byte{byte('a' + rng.Intn(26))}, b[i:]...)...)
+		}
+	}
+	return string(b)
+}
+
+// nameGen builds pronounceable names from consonant-vowel syllables.
+type nameGen struct {
+	rng  *rand.Rand
+	syll []string
+}
+
+func newNameGen(rng *rand.Rand) *nameGen {
+	cons := []string{"b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "y", "z", "ch", "sh", "th", "kr", "st"}
+	vows := []string{"a", "e", "i", "o", "u", "ai", "ou"}
+	var syll []string
+	for _, c := range cons {
+		for _, v := range vows {
+			syll = append(syll, c+v)
+		}
+	}
+	return &nameGen{rng: rng, syll: syll}
+}
+
+// name produces a name of roughly targetLen characters.
+func (g *nameGen) name(targetLen int) string {
+	var b strings.Builder
+	for b.Len() < targetLen {
+		b.WriteString(g.syll[g.rng.Intn(len(g.syll))])
+	}
+	s := b.String()
+	if len(s) > targetLen+1 {
+		s = s[:targetLen]
+	}
+	return s
+}
+
+// buildVocab creates a deterministic vocabulary of nWords pronounceable
+// words with lengths in [minLen, maxLen].
+func buildVocab(rng *rand.Rand, nWords, minLen, maxLen int) []string {
+	g := newNameGen(rng)
+	seen := make(map[string]bool, nWords)
+	out := make([]string, 0, nWords)
+	for len(out) < nWords {
+		w := g.name(minLen + rng.Intn(maxLen-minLen+1))
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Summary holds Table 2's per-dataset statistics.
+type Summary struct {
+	Cardinality int
+	AvgLen      float64
+	MaxLen      int
+	MinLen      int
+	TotalBytes  int64
+}
+
+// Summarize computes dataset statistics.
+func Summarize(strs []string) Summary {
+	s := Summary{Cardinality: len(strs)}
+	if len(strs) == 0 {
+		return s
+	}
+	s.MinLen = len(strs[0])
+	for _, str := range strs {
+		l := len(str)
+		s.TotalBytes += int64(l)
+		if l > s.MaxLen {
+			s.MaxLen = l
+		}
+		if l < s.MinLen {
+			s.MinLen = l
+		}
+	}
+	s.AvgLen = float64(s.TotalBytes) / float64(len(strs))
+	return s
+}
+
+// Bin is one histogram bucket of string lengths in [Lo, Hi).
+type Bin struct {
+	Lo, Hi, Count int
+}
+
+// LengthHistogram buckets string lengths with the given bin width
+// (Figure 11).
+func LengthHistogram(strs []string, binWidth int) []Bin {
+	if binWidth < 1 {
+		binWidth = 1
+	}
+	maxLen := 0
+	for _, s := range strs {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	bins := make([]Bin, maxLen/binWidth+1)
+	for i := range bins {
+		bins[i].Lo = i * binWidth
+		bins[i].Hi = (i + 1) * binWidth
+	}
+	for _, s := range strs {
+		bins[len(s)/binWidth].Count++
+	}
+	return bins
+}
+
+// Load reads one string per line.
+func Load(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var out []string
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	return out, sc.Err()
+}
+
+// LoadFile reads one string per line from path.
+func LoadFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Save writes one string per line.
+func Save(w io.Writer, strs []string) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range strs {
+		if _, err := bw.WriteString(s); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes one string per line to path.
+func SaveFile(path string, strs []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, strs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

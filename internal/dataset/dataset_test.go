@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"passjoin/internal/bruteforce"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names {
+		a, err := ByName(name, 200, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ByName(name, 200, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: string %d differs between same-seed runs", name, i)
+			}
+		}
+		c, _ := ByName(name, 200, 8)
+		same := 0
+		for i := range a {
+			if a[i] == c[i] {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Errorf("%s: different seeds produced identical corpus", name)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("bogus", 10, 1); err == nil {
+		t.Error("expected error")
+	}
+}
+
+// The generated regimes must land near the paper's Table 2 statistics.
+func TestRegimes(t *testing.T) {
+	cases := []struct {
+		name             string
+		avgLo, avgHi     float64
+		minOK, maxNeeded int
+	}{
+		{"author", 10, 22, 6, 30},
+		{"querylog", 35, 60, 30, 60},
+		{"authortitle", 80, 135, 21, 150},
+	}
+	for _, c := range cases {
+		strs, err := ByName(c.name, 5000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := Summarize(strs)
+		if s.Cardinality != 5000 {
+			t.Errorf("%s: cardinality %d", c.name, s.Cardinality)
+		}
+		if s.AvgLen < c.avgLo || s.AvgLen > c.avgHi {
+			t.Errorf("%s: avg len %.1f outside [%v,%v]", c.name, s.AvgLen, c.avgLo, c.avgHi)
+		}
+		if s.MinLen < c.minOK {
+			t.Errorf("%s: min len %d below %d", c.name, s.MinLen, c.minOK)
+		}
+		if s.MaxLen < c.maxNeeded {
+			t.Errorf("%s: max len %d, expected a tail beyond %d", c.name, s.MaxLen, c.maxNeeded)
+		}
+	}
+}
+
+// Typo injection must create similar pairs, or the join experiments would
+// measure empty result sets.
+func TestCorporaContainSimilarPairs(t *testing.T) {
+	for _, name := range Names {
+		strs, _ := ByName(name, 300, 3)
+		pairs := bruteforce.SelfJoin(strs, 3)
+		if len(pairs) == 0 {
+			t.Errorf("%s: no similar pairs at tau=3", name)
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Cardinality != 0 || s.AvgLen != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]string{"ab", "abcd", "abcdef"})
+	if s.Cardinality != 3 || s.MinLen != 2 || s.MaxLen != 6 || s.AvgLen != 4 {
+		t.Errorf("summary: %+v", s)
+	}
+}
+
+func TestLengthHistogram(t *testing.T) {
+	strs := []string{"a", "bb", "ccc", "dddd", "eeeee"}
+	bins := LengthHistogram(strs, 2)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+		if b.Hi-b.Lo != 2 {
+			t.Errorf("bin width: %+v", b)
+		}
+	}
+	if total != len(strs) {
+		t.Errorf("histogram total %d, want %d", total, len(strs))
+	}
+	// len 1 -> bin [0,2); len 2,3 -> [2,4); len 4,5 -> [4,6)
+	if bins[0].Count != 1 || bins[1].Count != 2 || bins[2].Count != 2 {
+		t.Errorf("bins: %+v", bins)
+	}
+}
+
+func TestLengthHistogramBadWidth(t *testing.T) {
+	bins := LengthHistogram([]string{"abc"}, 0)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 1 {
+		t.Errorf("width fallback broken: %+v", bins)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	strs, _ := ByName("author", 50, 9)
+	var buf bytes.Buffer
+	if err := Save(&buf, strs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(strs) {
+		t.Fatalf("loaded %d strings, want %d", len(got), len(strs))
+	}
+	for i := range strs {
+		if got[i] != strs[i] {
+			t.Fatalf("string %d differs after round trip", i)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.txt")
+	strs := []string{"alpha", "beta", "gamma"}
+	if err := SaveFile(path, strs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != "gamma" {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestMutatePreservesDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := mutate(rng, "hello world", 2)
+	rng = rand.New(rand.NewSource(5))
+	b := mutate(rng, "hello world", 2)
+	if a != b {
+		t.Error("mutate not deterministic under same rng state")
+	}
+}
+
+func TestClampLen(t *testing.T) {
+	if got := clampLen("ab", 5, 10); len(got) != 5 {
+		t.Errorf("pad: %q", got)
+	}
+	if got := clampLen("abcdefghijk", 1, 5); len(got) != 5 {
+		t.Errorf("trunc: %q", got)
+	}
+}

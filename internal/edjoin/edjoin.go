@@ -1,0 +1,407 @@
+// Package edjoin implements the ED-Join baseline (Xiao, Wang, Lin: "Ed-Join:
+// an efficient algorithm for similarity joins with edit distance
+// constraints", PVLDB 2008), the strongest gram-based competitor in the
+// Pass-Join evaluation.
+//
+// ED-Join is prefix filtering over positional q-grams: grams are globally
+// ordered by ascending document frequency; each string indexes and probes
+// only a prefix of its ordered gram list. The count-based prefix needs
+// qτ+1 grams (All-Pairs-Ed); ED-Join shortens it with the location-based
+// mismatch bound — the minimal prefix whose destruction requires more than
+// τ edits. Candidates then pass a position filter (gram positions within
+// τ), a content-based filter (character-frequency L1 lower bound), and the
+// banded edit-distance verification.
+//
+// Strings whose whole gram set can be destroyed with ≤ τ edits (in
+// particular every string shorter than q) have no usable prefix; they are
+// kept on an "unprunable" side list and compared against every in-window
+// probe. This is precisely why gram-based joins degrade on short strings —
+// the effect Figure 15(a) of the Pass-Join paper shows.
+package edjoin
+
+import (
+	"fmt"
+	"sort"
+
+	"passjoin/internal/core"
+	"passjoin/internal/metrics"
+	"passjoin/internal/qgram"
+	"passjoin/internal/verify"
+)
+
+// Config selects the filter stack. The zero value is plain All-Pairs-Ed
+// (count-based prefix, no mismatch filters).
+type Config struct {
+	// Q is the gram length (required, >= 1).
+	Q int
+	// LocationPrefix enables ED-Join's location-based prefix shortening.
+	LocationPrefix bool
+	// LocationFilter enables the pair-level location-based mismatch filter:
+	// the prefix grams of the indexed string that have no content- and
+	// position-compatible occurrence in the probe must all be destroyed by
+	// the transformation, so MinEditErrors(mismatched) > τ prunes the pair.
+	LocationFilter bool
+	// ContentFilter enables the character-frequency L1 pre-verification
+	// filter.
+	ContentFilter bool
+}
+
+// Join runs ED-Join with all filters enabled.
+func Join(strs []string, tau, q int, st *metrics.Stats) ([]core.Pair, error) {
+	return JoinConfig(strs, tau, Config{Q: q, LocationPrefix: true, LocationFilter: true, ContentFilter: true}, st)
+}
+
+// JoinConfig runs the gram-based self join with an explicit filter stack.
+// Result pairs carry original input indices (R < S), sorted.
+func JoinConfig(strs []string, tau int, cfg Config, st *metrics.Stats) ([]core.Pair, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("edjoin: negative threshold %d", tau)
+	}
+	if cfg.Q < 1 {
+		return nil, fmt.Errorf("edjoin: invalid gram length %d", cfg.Q)
+	}
+	j := &joiner{tau: tau, cfg: cfg, st: st}
+	return j.run(strs), nil
+}
+
+type posting struct {
+	id  int32
+	pos int32
+}
+
+type joiner struct {
+	tau int
+	cfg Config
+	st  *metrics.Stats
+
+	recs  []srec
+	order *qgram.Order
+	index map[string][]posting
+
+	unprunable []int32 // visited ids with no usable prefix, sorted by length
+	unprHead   int
+
+	checked []int32 // pair-dedup stamps (epoch = probe id)
+	ver     verify.Verifier
+
+	histo    [256]int32 // scratch: probe-string character frequencies
+	histoLen int
+
+	// prefixes[id] caches each indexed string's prefix grams for the
+	// pair-level location filter; probeGrams maps the current probe's gram
+	// contents to their positions.
+	prefixes   [][]qgram.PosGram
+	probeGrams map[string][]int32
+	scratchPos []int32
+
+	indexBytes   int64
+	indexEntries int64
+
+	out []core.Pair
+}
+
+type srec struct {
+	s    string
+	orig int32
+}
+
+func (j *joiner) run(strs []string) []core.Pair {
+	j.recs = make([]srec, len(strs))
+	for i, s := range strs {
+		j.recs[i] = srec{s: s, orig: int32(i)}
+	}
+	sort.Slice(j.recs, func(a, b int) bool {
+		ra, rb := j.recs[a], j.recs[b]
+		if len(ra.s) != len(rb.s) {
+			return len(ra.s) < len(rb.s)
+		}
+		if ra.s != rb.s {
+			return ra.s < rb.s
+		}
+		return ra.orig < rb.orig
+	})
+	j.order = qgram.BuildOrder(strs, j.cfg.Q)
+	j.index = make(map[string][]posting)
+	j.checked = make([]int32, len(strs))
+	for i := range j.checked {
+		j.checked[i] = -1
+	}
+	j.ver.Stats = j.st
+	if j.cfg.LocationFilter {
+		j.prefixes = make([][]qgram.PosGram, len(strs))
+		j.probeGrams = make(map[string][]int32)
+	}
+
+	for sid := range j.recs {
+		j.probe(int32(sid))
+		if j.st != nil {
+			j.st.Strings++
+		}
+	}
+	if j.st != nil {
+		j.st.Results += int64(len(j.out))
+		j.st.IndexBytes = j.indexBytes
+		j.st.IndexEntries = j.indexEntries
+	}
+	core.SortPairs(j.out)
+	return j.out
+}
+
+// probe finds all visited strings similar to string sid, then indexes sid.
+func (j *joiner) probe(sid int32) {
+	s := j.recs[sid].s
+	grams := qgram.Grams(s, j.cfg.Q)
+	j.order.SortByRank(grams)
+	prefix, prunable := j.selectPrefix(grams)
+	if j.st != nil {
+		j.st.SelectedSubstrings += int64(len(prefix))
+	}
+	j.prepareHisto(s)
+	if j.cfg.LocationFilter {
+		// Map the probe's gram contents to sorted positions for the
+		// pair-level mismatch filter, and remember the prefix for when this
+		// string is on the indexed side of a later pair.
+		clear(j.probeGrams)
+		for _, g := range grams {
+			j.probeGrams[g.Gram] = append(j.probeGrams[g.Gram], g.Pos)
+		}
+		j.prefixes[sid] = prefix
+	}
+
+	// Candidates from the gram index.
+	for _, g := range prefix {
+		lst := j.index[g.Gram]
+		if j.st != nil {
+			j.st.Lookups++
+			if len(lst) > 0 {
+				j.st.LookupHits++
+			}
+		}
+		for _, pt := range lst {
+			if j.st != nil {
+				j.st.Candidates++
+			}
+			if len(s)-len(j.recs[pt.id].s) > j.tau {
+				continue // length filter (visited strings are never longer)
+			}
+			if abs32(pt.pos-g.Pos) > int32(j.tau) {
+				continue // position filter
+			}
+			j.verifyPair(pt.id, sid)
+		}
+	}
+	// Candidates from the unprunable side list (no gram guarantee exists
+	// for pairs involving them).
+	for j.unprHead < len(j.unprunable) && len(j.recs[j.unprunable[j.unprHead]].s) < len(s)-j.tau {
+		j.unprHead++
+	}
+	for _, rid := range j.unprunable[j.unprHead:] {
+		if rid >= sid {
+			break
+		}
+		if j.st != nil {
+			j.st.Candidates++
+		}
+		j.verifyPair(rid, sid)
+	}
+
+	// Index the probe's prefix grams (prefix filtering indexes prefixes
+	// only); unprunable strings go to the side list instead.
+	if prunable {
+		for _, g := range prefix {
+			lst := j.index[g.Gram]
+			if lst == nil {
+				j.indexBytes += entryOverhead + int64(j.cfg.Q)
+			}
+			j.index[g.Gram] = append(lst, posting{id: sid, pos: g.Pos})
+			j.indexBytes += postingBytes
+			j.indexEntries++
+		}
+	} else {
+		j.unprunable = append(j.unprunable, sid)
+		j.indexBytes += postingBytes
+		if j.st != nil {
+			j.st.ShortStrings++
+		}
+	}
+}
+
+// selectPrefix returns the positional grams string s probes and indexes,
+// and whether the string is prunable at all. For prunable strings the
+// prefix is the minimal rank-ordered prefix whose destruction costs more
+// than τ edits (location-based) or the first qτ+1 grams (count-based),
+// extended over rank ties at the boundary so repeated gram contents are
+// never split (required for exactness of the position filter).
+func (j *joiner) selectPrefix(grams []qgram.PosGram) ([]qgram.PosGram, bool) {
+	tau, q := j.tau, j.cfg.Q
+	var cut int
+	if j.cfg.LocationPrefix {
+		// Shortest prefix with MinEditErrors > tau. MinEditErrors is
+		// monotone in the prefix, so grow until the bound is exceeded.
+		positions := make([]int32, 0, len(grams))
+		cut = -1
+		for k := range grams {
+			positions = append(positions, grams[k].Pos)
+			// MinEditErrors sorts its argument; pass a copy of the live
+			// positions.
+			tmp := make([]int32, k+1)
+			copy(tmp, positions)
+			if qgram.MinEditErrors(tmp, q) > tau {
+				cut = k + 1
+				break
+			}
+		}
+		if cut < 0 {
+			return grams, false // whole gram set destructible with <= tau edits
+		}
+	} else {
+		if len(grams) <= q*tau {
+			return grams, false
+		}
+		cut = q*tau + 1
+	}
+	// Tie closure: include every further occurrence of the boundary gram's
+	// rank so positional duplicates are not split across the cut.
+	for cut < len(grams) && j.order.Rank(grams[cut].Gram) == j.order.Rank(grams[cut-1].Gram) {
+		cut++
+	}
+	return grams[:cut], true
+}
+
+// verifyPair runs the content filter and the banded DP on a candidate pair,
+// at most once per probe.
+func (j *joiner) verifyPair(rid, sid int32) {
+	if j.checked[rid] == sid {
+		return
+	}
+	j.checked[rid] = sid
+	if j.st != nil {
+		j.st.UniqueCandidates++
+	}
+	r := j.recs[rid].s
+	s := j.recs[sid].s
+	if j.cfg.LocationFilter && j.locationMismatch(rid) > j.tau {
+		return
+	}
+	if j.cfg.ContentFilter && j.contentDistance(r) > 2*j.tau {
+		return
+	}
+	if j.st != nil {
+		j.st.Verifications++
+	}
+	if j.ver.Dist(r, s, j.tau) <= j.tau {
+		a, b := j.recs[rid].orig, j.recs[sid].orig
+		if a > b {
+			a, b = b, a
+		}
+		j.out = append(j.out, core.Pair{R: a, S: b})
+	}
+}
+
+// locationMismatch lower-bounds the edits needed between the indexed
+// string rid and the current probe: every prefix gram of rid without a
+// content-equal occurrence within ±τ positions in the probe must be
+// destroyed, and MinEditErrors bounds the cost of destroying them all.
+// Returning a value > τ proves the pair dissimilar.
+func (j *joiner) locationMismatch(rid int32) int {
+	prefix := j.prefixes[rid]
+	if prefix == nil {
+		return 0 // unprunable candidate: no cached prefix, no bound
+	}
+	j.scratchPos = j.scratchPos[:0]
+	for _, g := range prefix {
+		matched := false
+		for _, p := range j.probeGrams[g.Gram] {
+			if abs32(p-g.Pos) <= int32(j.tau) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			j.scratchPos = append(j.scratchPos, g.Pos)
+		}
+	}
+	return qgram.MinEditErrors(j.scratchPos, j.cfg.Q)
+}
+
+// prepareHisto loads the probe string's character frequencies.
+func (j *joiner) prepareHisto(s string) {
+	if !j.cfg.ContentFilter {
+		return
+	}
+	for i := range j.histo {
+		j.histo[i] = 0
+	}
+	for i := 0; i < len(s); i++ {
+		j.histo[s[i]]++
+	}
+	j.histoLen = len(s)
+}
+
+// contentDistance returns the L1 distance between the character-frequency
+// vectors of r and the prepared probe string. One edit operation changes
+// the L1 distance by at most 2, so L1 > 2τ implies ed > τ.
+func (j *joiner) contentDistance(r string) int {
+	l1 := j.histoLen
+	for i := 0; i < len(r); i++ {
+		c := r[i]
+		if j.histo[c] > 0 {
+			l1--
+		} else {
+			l1++
+		}
+		j.histo[c]--
+	}
+	// Restore the probe histogram.
+	for i := 0; i < len(r); i++ {
+		j.histo[r[i]]++
+	}
+	return l1
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Index size cost model (Table 3): a posting is (id, pos) = 8 bytes; each
+// distinct gram costs a map entry plus the gram bytes.
+const (
+	postingBytes  = 8
+	entryOverhead = 48
+)
+
+// IndexFootprint builds the full prefix-gram index over strs and reports
+// its approximate size and posting count, for the Table 3 experiment.
+//
+// Unlike the live join — which diverts strings with no usable prefix to a
+// cheap side list — this accounts a posting for min(|G(s)|, qτ+1) prefix
+// grams of every string, which is what the original ED-Join implementation
+// stores and what the paper's Table 3 measures.
+func IndexFootprint(strs []string, tau, q int) (bytes, entries int64) {
+	return prefixFootprint(strs, tau, q)
+}
+
+func prefixFootprint(strs []string, tau, q int) (bytes, entries int64) {
+	order := qgram.BuildOrder(strs, q)
+	distinct := make(map[string]bool)
+	for _, s := range strs {
+		grams := qgram.Grams(s, q)
+		order.SortByRank(grams)
+		cut := q*tau + 1
+		if cut > len(grams) {
+			cut = len(grams)
+		}
+		for _, g := range grams[:cut] {
+			if !distinct[g.Gram] {
+				distinct[g.Gram] = true
+				bytes += entryOverhead + int64(q)
+			}
+			bytes += postingBytes
+			entries++
+		}
+	}
+	return bytes, entries
+}

@@ -1,0 +1,261 @@
+// Package ngpp implements an NGPP-style baseline (Wang, Xiao, Lin, Zhang:
+// "Efficient approximate entity extraction with edit distance
+// constraints", SIGMOD 2009) — the partition + neighborhood-generation
+// method whose shift-based substring selection the Pass-Join paper extends
+// in §4 (the "Shift" series of Figures 12–13).
+//
+// The scheme: partition every indexed string into k = ⌊τ/2⌋+1 parts. By
+// the pigeonhole principle, if ed(r,s) ≤ τ then some part of r reaches s
+// with at most one edit error. Matching-with-one-error is answered by
+// one-deletion neighborhoods: for strings a and b,
+//
+//	ed(a,b) ≤ 1  ⇒  ({a} ∪ del1(a)) ∩ ({b} ∪ del1(b)) ≠ ∅,
+//
+// so each part indexes its neighborhood and probes look up the
+// neighborhoods of the substrings within the shift window [pi−τ, pi+τ].
+// Shared neighborhood elements only imply ed ≤ 2, so survivors are
+// verified with the banded DP — candidate generation is complete, and
+// verification keeps the join exact.
+//
+// This adaptation keeps NGPP's partitioning and neighborhood core but
+// drops its prefix-pruning over neighborhood sets (a constant-factor
+// optimization); DESIGN.md records the substitution.
+package ngpp
+
+import (
+	"fmt"
+	"sort"
+
+	"passjoin/internal/core"
+	"passjoin/internal/metrics"
+	"passjoin/internal/verify"
+)
+
+// Join runs the NGPP-style self join. Result pairs carry original input
+// indices (R < S), sorted.
+func Join(strs []string, tau int, st *metrics.Stats) ([]core.Pair, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("ngpp: negative threshold %d", tau)
+	}
+	j := &joiner{tau: tau, k: tau/2 + 1, st: st}
+	return j.run(strs), nil
+}
+
+type srec struct {
+	s    string
+	orig int32
+}
+
+type joiner struct {
+	tau int
+	k   int // number of parts per indexed string
+	st  *metrics.Stats
+
+	recs []srec
+	// index[l][i] maps neighborhood elements of part i (0-based) of
+	// length-l strings to posting lists.
+	index map[int][]map[string][]int32
+
+	checked []int32
+	ver     verify.Verifier
+
+	shorts   []int32 // ids of strings shorter than k (cannot be partitioned)
+	shortHdr int
+
+	indexBytes   int64
+	indexEntries int64
+
+	out []core.Pair
+}
+
+// part returns the 1-based start position and length of part i (0-based)
+// of a length-l string under the even partition into k parts.
+func (j *joiner) part(l, i int) (pos, n int) {
+	q := l / j.k
+	r := l - q*j.k
+	// First k-r parts have length q, last r parts length q+1.
+	if i < j.k-r {
+		return 1 + i*q, q
+	}
+	extra := i - (j.k - r)
+	return 1 + i*q + extra, q + 1
+}
+
+func (j *joiner) run(strs []string) []core.Pair {
+	j.recs = make([]srec, len(strs))
+	for i, s := range strs {
+		j.recs[i] = srec{s: s, orig: int32(i)}
+	}
+	sort.Slice(j.recs, func(a, b int) bool {
+		ra, rb := j.recs[a], j.recs[b]
+		if len(ra.s) != len(rb.s) {
+			return len(ra.s) < len(rb.s)
+		}
+		if ra.s != rb.s {
+			return ra.s < rb.s
+		}
+		return ra.orig < rb.orig
+	})
+	j.index = make(map[int][]map[string][]int32)
+	j.checked = make([]int32, len(strs))
+	for i := range j.checked {
+		j.checked[i] = -1
+	}
+	j.ver.Stats = j.st
+
+	for sid := range j.recs {
+		j.probe(int32(sid))
+		j.insert(int32(sid))
+		if j.st != nil {
+			j.st.Strings++
+		}
+	}
+	if j.st != nil {
+		j.st.Results += int64(len(j.out))
+		j.st.IndexBytes = j.indexBytes
+		j.st.IndexEntries = j.indexEntries
+	}
+	core.SortPairs(j.out)
+	return j.out
+}
+
+func (j *joiner) probe(sid int32) {
+	s := j.recs[sid].s
+	// Short visited strings are verified directly.
+	for j.shortHdr < len(j.shorts) && len(j.recs[j.shorts[j.shortHdr]].s) < len(s)-j.tau {
+		j.shortHdr++
+	}
+	for _, rid := range j.shorts[j.shortHdr:] {
+		if rid >= sid {
+			break
+		}
+		j.candidate(rid, sid)
+	}
+	lmin := len(s) - j.tau
+	if lmin < j.k {
+		lmin = j.k
+	}
+	for l := lmin; l <= len(s); l++ {
+		parts := j.index[l]
+		if parts == nil {
+			continue
+		}
+		for i := 0; i < j.k; i++ {
+			pi, li := j.part(l, i)
+			m := parts[i]
+			lo := pi - j.tau
+			if lo < 1 {
+				lo = 1
+			}
+			hi := pi + j.tau
+			for p := lo; p <= hi; p++ {
+				// Element lookups that can intersect D(part): the exact
+				// window (length li), one-deletion variants of the li and
+				// li+1 windows (length li and li−1), and the li−1 window
+				// itself.
+				if p+li-1 <= len(s) {
+					j.lookup(m, s[p-1:p-1+li], sid)
+					j.lookupDeletions(m, s[p-1:p-1+li], sid)
+				}
+				if p+li <= len(s) {
+					j.lookupDeletions(m, s[p-1:p-1+li+1], sid)
+				}
+				if li >= 2 && p+li-2 <= len(s) {
+					j.lookup(m, s[p-1:p-1+li-1], sid)
+				}
+			}
+		}
+	}
+}
+
+func (j *joiner) lookup(m map[string][]int32, w string, sid int32) {
+	if j.st != nil {
+		j.st.Lookups++
+		j.st.SelectedSubstrings++
+	}
+	lst := m[w]
+	if len(lst) == 0 {
+		return
+	}
+	if j.st != nil {
+		j.st.LookupHits++
+	}
+	for _, rid := range lst {
+		j.candidate(rid, sid)
+	}
+}
+
+// lookupDeletions probes every one-deletion variant of w.
+func (j *joiner) lookupDeletions(m map[string][]int32, w string, sid int32) {
+	buf := make([]byte, len(w)-1)
+	for d := 0; d < len(w); d++ {
+		copy(buf, w[:d])
+		copy(buf[d:], w[d+1:])
+		j.lookup(m, string(buf), sid)
+	}
+}
+
+func (j *joiner) candidate(rid, sid int32) {
+	if j.st != nil {
+		j.st.Candidates++
+	}
+	if j.checked[rid] == sid {
+		return
+	}
+	j.checked[rid] = sid
+	r := j.recs[rid].s
+	s := j.recs[sid].s
+	if len(s)-len(r) > j.tau {
+		return
+	}
+	if j.st != nil {
+		j.st.UniqueCandidates++
+		j.st.Verifications++
+	}
+	if j.ver.Dist(r, s, j.tau) <= j.tau {
+		a, b := j.recs[rid].orig, j.recs[sid].orig
+		if a > b {
+			a, b = b, a
+		}
+		j.out = append(j.out, core.Pair{R: a, S: b})
+	}
+}
+
+func (j *joiner) insert(sid int32) {
+	s := j.recs[sid].s
+	if len(s) < j.k {
+		j.shorts = append(j.shorts, sid)
+		if j.st != nil {
+			j.st.ShortStrings++
+		}
+		return
+	}
+	parts := j.index[len(s)]
+	if parts == nil {
+		parts = make([]map[string][]int32, j.k)
+		for i := range parts {
+			parts[i] = make(map[string][]int32)
+		}
+		j.index[len(s)] = parts
+	}
+	for i := 0; i < j.k; i++ {
+		pi, li := j.part(len(s), i)
+		p := s[pi-1 : pi-1+li]
+		j.add(parts[i], p, sid)
+		buf := make([]byte, li-1)
+		for d := 0; d < li; d++ {
+			copy(buf, p[:d])
+			copy(buf[d:], p[d+1:])
+			j.add(parts[i], string(buf), sid)
+		}
+	}
+}
+
+func (j *joiner) add(m map[string][]int32, elem string, sid int32) {
+	if m[elem] == nil {
+		j.indexBytes += 48 + int64(len(elem))
+	}
+	m[elem] = append(m[elem], sid)
+	j.indexBytes += 4
+	j.indexEntries++
+}

@@ -1,0 +1,140 @@
+package ngpp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"passjoin/internal/bruteforce"
+	"passjoin/internal/core"
+	"passjoin/internal/metrics"
+)
+
+func randStr(rng *rand.Rand, n, alpha int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(alpha))
+	}
+	return string(b)
+}
+
+func corpus(rng *rand.Rand, n, maxLen, alpha int) []string {
+	strs := make([]string, 0, n)
+	for len(strs) < n {
+		if len(strs) > 0 && rng.Float64() < 0.5 {
+			b := []byte(strs[rng.Intn(len(strs))])
+			for e := 0; e < 1+rng.Intn(3); e++ {
+				switch op := rng.Intn(3); {
+				case op == 0 && len(b) > 0:
+					b[rng.Intn(len(b))] = byte('a' + rng.Intn(alpha))
+				case op == 1 && len(b) > 0:
+					i := rng.Intn(len(b))
+					b = append(b[:i], b[i+1:]...)
+				default:
+					i := rng.Intn(len(b) + 1)
+					b = append(b[:i], append([]byte{byte('a' + rng.Intn(alpha))}, b[i:]...)...)
+				}
+			}
+			strs = append(strs, string(b))
+		} else {
+			strs = append(strs, randStr(rng, rng.Intn(maxLen+1), alpha))
+		}
+	}
+	return strs
+}
+
+func TestNGPPEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	corpora := map[string][]string{
+		"random":     corpus(rng, 110, 16, 3),
+		"lowalpha":   corpus(rng, 80, 12, 2),
+		"repetitive": {"", "a", "aa", "aaa", "aaaa", "aaaaa", "aaaab", "abab", "ababab", "bababa", "aab", "aba"},
+	}
+	for name, strs := range corpora {
+		for tau := 0; tau <= 4; tau++ {
+			got, err := Join(strs, tau, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make(map[core.Pair]bool)
+			for _, p := range bruteforce.SelfJoin(strs, tau) {
+				want[core.Pair{R: p.R, S: p.S}] = true
+			}
+			gotSet := make(map[core.Pair]bool)
+			for _, p := range got {
+				if gotSet[p] {
+					t.Fatalf("%s tau=%d: duplicate %v", name, tau, p)
+				}
+				gotSet[p] = true
+			}
+			if len(gotSet) != len(want) {
+				for p := range want {
+					if !gotSet[p] {
+						t.Logf("missing: (%d,%d) %q ~ %q", p.R, p.S, strs[p.R], strs[p.S])
+					}
+				}
+				t.Fatalf("%s tau=%d: %d pairs, want %d", name, tau, len(gotSet), len(want))
+			}
+			for p := range gotSet {
+				if !want[p] {
+					t.Fatalf("%s tau=%d: spurious %v", name, tau, p)
+				}
+			}
+		}
+	}
+}
+
+func TestNGPPPaperExample(t *testing.T) {
+	strs := []string{
+		"avataresha", "caushik chakrabar", "kaushic chaduri",
+		"kaushik chakrab", "kaushuk chadhui", "vankatesh",
+	}
+	got, err := Join(strs, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != (core.Pair{R: 1, S: 3}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestNGPPPartCoversString(t *testing.T) {
+	j := &joiner{tau: 5, k: 3}
+	for l := 3; l <= 30; l++ {
+		end := 0
+		for i := 0; i < j.k; i++ {
+			pos, n := j.part(l, i)
+			if pos != end+1 {
+				t.Fatalf("l=%d part %d starts at %d, want %d", l, i, pos, end+1)
+			}
+			if n < 1 {
+				t.Fatalf("l=%d part %d empty", l, i)
+			}
+			end = pos + n - 1
+		}
+		if end != l {
+			t.Fatalf("l=%d parts cover %d chars", l, end)
+		}
+	}
+}
+
+func TestNGPPBadArgs(t *testing.T) {
+	if _, err := Join([]string{"a"}, -1, nil); err == nil {
+		t.Error("negative tau accepted")
+	}
+}
+
+func TestNGPPStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	strs := corpus(rng, 80, 12, 3)
+	st := &metrics.Stats{}
+	got, err := Join(strs, 2, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Results != int64(len(got)) || st.IndexBytes <= 0 || st.Lookups == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,147 @@
+package partenum
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"passjoin/internal/bruteforce"
+	"passjoin/internal/core"
+	"passjoin/internal/metrics"
+)
+
+func randStr(rng *rand.Rand, n, alpha int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(alpha))
+	}
+	return string(b)
+}
+
+func corpus(rng *rand.Rand, n, maxLen, alpha int) []string {
+	strs := make([]string, 0, n)
+	for len(strs) < n {
+		if len(strs) > 0 && rng.Float64() < 0.5 {
+			b := []byte(strs[rng.Intn(len(strs))])
+			for e := 0; e < 1+rng.Intn(2); e++ {
+				switch op := rng.Intn(3); {
+				case op == 0 && len(b) > 0:
+					b[rng.Intn(len(b))] = byte('a' + rng.Intn(alpha))
+				case op == 1 && len(b) > 0:
+					i := rng.Intn(len(b))
+					b = append(b[:i], b[i+1:]...)
+				default:
+					i := rng.Intn(len(b) + 1)
+					b = append(b[:i], append([]byte{byte('a' + rng.Intn(alpha))}, b[i:]...)...)
+				}
+			}
+			strs = append(strs, string(b))
+		} else {
+			strs = append(strs, randStr(rng, rng.Intn(maxLen+1), alpha))
+		}
+	}
+	return strs
+}
+
+func TestPartEnumEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	corpora := map[string][]string{
+		"random": corpus(rng, 100, 14, 3),
+		"shorts": {"", "a", "aa", "ab", "abc", "abd", "b", "ba", ""},
+	}
+	for name, strs := range corpora {
+		for tau := 0; tau <= 3; tau++ {
+			for _, q := range []int{1, 2, 3} {
+				got, err := Join(strs, tau, q, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := make(map[core.Pair]bool)
+				for _, p := range bruteforce.SelfJoin(strs, tau) {
+					want[core.Pair{R: p.R, S: p.S}] = true
+				}
+				gotSet := make(map[core.Pair]bool)
+				for _, p := range got {
+					if gotSet[p] {
+						t.Fatalf("%s tau=%d q=%d: duplicate %v", name, tau, q, p)
+					}
+					gotSet[p] = true
+				}
+				if len(gotSet) != len(want) {
+					t.Fatalf("%s tau=%d q=%d: %d pairs, want %d", name, tau, q, len(gotSet), len(want))
+				}
+				for p := range want {
+					if !gotSet[p] {
+						t.Fatalf("%s tau=%d q=%d: missing %v", name, tau, q, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPartEnumPaperExample(t *testing.T) {
+	strs := []string{
+		"avataresha", "caushik chakrabar", "kaushic chaduri",
+		"kaushik chakrab", "kaushuk chadhui", "vankatesh",
+	}
+	got, err := Join(strs, 3, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != (core.Pair{R: 1, S: 3}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPartEnumBadArgs(t *testing.T) {
+	if _, err := Join([]string{"a"}, -1, 2, nil); err == nil {
+		t.Error("negative tau accepted")
+	}
+	if _, err := Join([]string{"a"}, 1, 0, nil); err == nil {
+		t.Error("q=0 accepted")
+	}
+}
+
+func TestPartEnumStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	strs := corpus(rng, 80, 12, 3)
+	st := &metrics.Stats{}
+	got, err := Join(strs, 2, 2, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Results != int64(len(got)) || st.IndexBytes <= 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.SelectedSubstrings == 0 {
+		t.Error("signature counter empty")
+	}
+}
+
+func TestPartEnumCandidatesGrowWithTau(t *testing.T) {
+	// Part-Enum's selectivity collapses as tau grows: the number of unique
+	// candidates should be non-decreasing in tau on the same corpus.
+	rng := rand.New(rand.NewSource(43))
+	strs := corpus(rng, 150, 12, 3)
+	var prev int64 = -1
+	for tau := 0; tau <= 3; tau++ {
+		st := &metrics.Stats{}
+		if _, err := Join(strs, tau, 2, st); err != nil {
+			t.Fatal(err)
+		}
+		if st.UniqueCandidates < prev {
+			t.Errorf("tau=%d: candidates %d < previous %d", tau, st.UniqueCandidates, prev)
+		}
+		prev = st.UniqueCandidates
+	}
+}
+
+func TestIndexFootprint(t *testing.T) {
+	bytes, entries := IndexFootprint([]string{"abcd", "abce", "wxyz"}, 1, 2)
+	if bytes <= 0 || entries <= 0 {
+		t.Errorf("footprint %d/%d", bytes, entries)
+	}
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,118 @@
+// Package qgram provides the positional q-gram machinery shared by the
+// gram-based join baselines (All-Pairs-Ed, ED-Join, Part-Enum): gram
+// extraction, a global document-frequency ordering for prefix filtering,
+// and the location-based lower bound on edit errors used by ED-Join's
+// prefix shortening.
+package qgram
+
+import "sort"
+
+// PosGram is one positional q-gram: the gram content (a substring sharing
+// the source string's backing array) and its 0-based start position.
+type PosGram struct {
+	Pos  int32
+	Gram string
+}
+
+// Grams returns the positional q-grams of s, i.e. all len(s)−q+1 substrings
+// of length q with their positions. Strings shorter than q have no grams.
+func Grams(s string, q int) []PosGram {
+	if q <= 0 {
+		panic("qgram: non-positive q")
+	}
+	n := len(s) - q + 1
+	if n <= 0 {
+		return nil
+	}
+	out := make([]PosGram, n)
+	for i := 0; i < n; i++ {
+		out[i] = PosGram{Pos: int32(i), Gram: s[i : i+q]}
+	}
+	return out
+}
+
+// Count returns the number of q-grams of a string of length l.
+func Count(l, q int) int {
+	if n := l - q + 1; n > 0 {
+		return n
+	}
+	return 0
+}
+
+// Order ranks grams by ascending document frequency (rare grams first),
+// breaking ties lexicographically so the order is deterministic. Prefix
+// filtering probes the rarest grams first, keeping inverted lists short.
+type Order struct {
+	rank map[string]int32
+}
+
+// BuildOrder scans the corpus and assigns every distinct gram a rank.
+func BuildOrder(corpus []string, q int) *Order {
+	freq := make(map[string]int64)
+	for _, s := range corpus {
+		for i := 0; i+q <= len(s); i++ {
+			freq[s[i:i+q]]++
+		}
+	}
+	grams := make([]string, 0, len(freq))
+	for g := range freq {
+		grams = append(grams, g)
+	}
+	sort.Slice(grams, func(a, b int) bool {
+		ga, gb := grams[a], grams[b]
+		if freq[ga] != freq[gb] {
+			return freq[ga] < freq[gb]
+		}
+		return ga < gb
+	})
+	rank := make(map[string]int32, len(grams))
+	for i, g := range grams {
+		rank[g] = int32(i)
+	}
+	return &Order{rank: rank}
+}
+
+// Rank returns the global rank of g. Grams absent from the corpus (possible
+// when ordering was built on a different set) rank after everything.
+func (o *Order) Rank(g string) int32 {
+	if r, ok := o.rank[g]; ok {
+		return r
+	}
+	return int32(len(o.rank))
+}
+
+// Distinct returns the number of distinct grams in the order.
+func (o *Order) Distinct() int { return len(o.rank) }
+
+// SortByRank orders grams by ascending global rank, breaking ties by
+// position (deterministic prefix selection).
+func (o *Order) SortByRank(grams []PosGram) {
+	sort.Slice(grams, func(a, b int) bool {
+		ra, rb := o.Rank(grams[a].Gram), o.Rank(grams[b].Gram)
+		if ra != rb {
+			return ra < rb
+		}
+		return grams[a].Pos < grams[b].Pos
+	})
+}
+
+// MinEditErrors returns the minimum number of single-character edit
+// operations needed to destroy every gram at the given 0-based positions
+// (ED-Join's location-based lower bound). One edit at position p destroys
+// every gram starting in [p−q+1, p]; the greedy right-most placement is
+// optimal for this interval-stabbing problem. positions is sorted in place.
+func MinEditErrors(positions []int32, q int) int {
+	if len(positions) == 0 {
+		return 0
+	}
+	sort.Slice(positions, func(a, b int) bool { return positions[a] < positions[b] })
+	cnt := 0
+	covered := int32(-1) // rightmost position whose grams are destroyed
+	for _, p := range positions {
+		if p > covered {
+			cnt++
+			covered = p + int32(q) - 1
+		}
+	}
+	return cnt
+}

@@ -1,0 +1,138 @@
+package qgram
+
+import (
+	"testing"
+)
+
+func TestGrams(t *testing.T) {
+	gs := Grams("abcde", 2)
+	want := []string{"ab", "bc", "cd", "de"}
+	if len(gs) != len(want) {
+		t.Fatalf("got %d grams, want %d", len(gs), len(want))
+	}
+	for i, g := range gs {
+		if g.Gram != want[i] || g.Pos != int32(i) {
+			t.Errorf("gram %d = {%d %q}", i, g.Pos, g.Gram)
+		}
+	}
+}
+
+func TestGramsShortString(t *testing.T) {
+	if gs := Grams("ab", 3); gs != nil {
+		t.Errorf("expected nil for string shorter than q, got %v", gs)
+	}
+	if gs := Grams("abc", 3); len(gs) != 1 || gs[0].Gram != "abc" {
+		t.Errorf("exact-length string: %v", gs)
+	}
+	if gs := Grams("", 1); gs != nil {
+		t.Errorf("empty string: %v", gs)
+	}
+}
+
+func TestGramsQ1(t *testing.T) {
+	gs := Grams("xyz", 1)
+	if len(gs) != 3 || gs[0].Gram != "x" || gs[2].Gram != "z" {
+		t.Errorf("q=1 grams: %v", gs)
+	}
+}
+
+func TestGramsPanicsOnBadQ(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for q=0")
+		}
+	}()
+	Grams("abc", 0)
+}
+
+func TestCount(t *testing.T) {
+	if Count(10, 4) != 7 {
+		t.Error("Count(10,4)")
+	}
+	if Count(3, 4) != 0 {
+		t.Error("Count(3,4)")
+	}
+}
+
+func TestOrderRareGramsFirst(t *testing.T) {
+	corpus := []string{"aaaa", "aaab", "abcd"}
+	o := BuildOrder(corpus, 2)
+	// "aa" occurs 5 times, the rest once or twice.
+	if o.Rank("aa") <= o.Rank("cd") {
+		t.Errorf("frequent gram 'aa' (rank %d) should rank after rare 'cd' (rank %d)", o.Rank("aa"), o.Rank("cd"))
+	}
+	if o.Distinct() == 0 {
+		t.Error("no distinct grams")
+	}
+	// Absent grams rank last.
+	if o.Rank("zz") != int32(o.Distinct()) {
+		t.Errorf("absent gram rank = %d", o.Rank("zz"))
+	}
+}
+
+func TestOrderDeterministic(t *testing.T) {
+	corpus := []string{"abcabc", "defdef", "ghighi"}
+	o1 := BuildOrder(corpus, 3)
+	o2 := BuildOrder(corpus, 3)
+	for _, s := range corpus {
+		for _, g := range Grams(s, 3) {
+			if o1.Rank(g.Gram) != o2.Rank(g.Gram) {
+				t.Fatalf("rank of %q differs between builds", g.Gram)
+			}
+		}
+	}
+}
+
+func TestSortByRank(t *testing.T) {
+	corpus := []string{"aaaa", "aaab", "abcd"}
+	o := BuildOrder(corpus, 2)
+	gs := Grams("aaab", 2) // aa aa ab
+	o.SortByRank(gs)
+	for i := 1; i < len(gs); i++ {
+		ra, rb := o.Rank(gs[i-1].Gram), o.Rank(gs[i].Gram)
+		if ra > rb {
+			t.Fatalf("not sorted by rank: %v", gs)
+		}
+		if ra == rb && gs[i-1].Pos > gs[i].Pos {
+			t.Fatalf("ties not sorted by position: %v", gs)
+		}
+	}
+}
+
+func TestMinEditErrors(t *testing.T) {
+	cases := []struct {
+		pos  []int32
+		q    int
+		want int
+	}{
+		{nil, 2, 0},
+		{[]int32{0}, 2, 1},
+		{[]int32{0, 1}, 2, 1},       // one edit at pos 1 kills both
+		{[]int32{0, 2}, 2, 2},       // spans don't overlap under one edit
+		{[]int32{0, 1, 2, 3}, 4, 1}, // q=4: edit at pos 3 kills starts 0..3
+		{[]int32{0, 4, 8}, 4, 3},
+		{[]int32{5, 0, 9}, 3, 2}, // unsorted input: 0..2 and 5..7|9..11 -> edit@2 covers 0; edit@7 covers 5; 9 needs third? no: edit@2 covers starts 0..2; edit@7 covers starts 5..7; 9 > 7 -> third edit. Actually want 3.
+	}
+	// Fix the last expectation by direct reasoning: greedy covers 0 (edit
+	// kills starts 0..2), then 5 (kills 5..7), then 9 -> 3 edits.
+	cases[len(cases)-1].want = 3
+	for _, c := range cases {
+		pos := append([]int32(nil), c.pos...)
+		if got := MinEditErrors(pos, c.q); got != c.want {
+			t.Errorf("MinEditErrors(%v, q=%d) = %d, want %d", c.pos, c.q, got, c.want)
+		}
+	}
+}
+
+func TestMinEditErrorsMonotoneInPrefix(t *testing.T) {
+	pos := []int32{0, 3, 5, 6, 11, 14, 20}
+	prev := 0
+	for k := 1; k <= len(pos); k++ {
+		cp := append([]int32(nil), pos[:k]...)
+		got := MinEditErrors(cp, 3)
+		if got < prev {
+			t.Fatalf("MinEditErrors not monotone at k=%d: %d < %d", k, got, prev)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,89 @@
+package selection
+
+import (
+	"testing"
+
+	"passjoin/internal/partition"
+	"passjoin/internal/verify"
+)
+
+// neighborhood returns every string within edit distance tau of s over the
+// given alphabet (breadth-first expansion with dedup). Exponential — only
+// for tiny parameters.
+func neighborhood(s string, tau int, alphabet string) map[string]bool {
+	cur := map[string]bool{s: true}
+	for step := 0; step < tau; step++ {
+		next := make(map[string]bool, len(cur)*4)
+		for w := range cur {
+			next[w] = true
+			for i := 0; i <= len(w); i++ {
+				for _, c := range []byte(alphabet) {
+					// insertion
+					next[w[:i]+string(c)+w[i:]] = true
+					if i < len(w) {
+						// substitution
+						next[w[:i]+string(c)+w[i+1:]] = true
+					}
+				}
+				if i < len(w) {
+					// deletion
+					next[w[:i]+w[i+1:]] = true
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Exhaustive completeness: for EVERY string s in the full edit
+// neighborhood of r (not a random sample), every selection method must
+// select a substring of s matching the corresponding segment of r. This
+// covers all edit scripts, including the adversarial ones random mutation
+// rarely hits (clustered edits, edits at segment boundaries).
+func TestCompletenessExhaustiveNeighborhood(t *testing.T) {
+	bases := []string{"abab", "aabb", "abcd", "abcde", "aaaaa", "abcab"}
+	for _, tau := range []int{1, 2} {
+		for _, r := range bases {
+			if len(r) < tau+1 {
+				continue
+			}
+			for s := range neighborhood(r, tau, "ab") {
+				if len(s) == 0 {
+					continue
+				}
+				if verify.EditDistance(r, s) > tau {
+					continue // neighborhood overshoots via intermediate steps
+				}
+				for _, m := range Methods {
+					if !findsMatch(m, r, s, tau) {
+						t.Fatalf("method %v misses r=%q s=%q tau=%d", m, r, s, tau)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The same exhaustive neighborhood at the window level: multi-match
+// windows must stay within position/shift/length windows for every
+// neighbor (nesting under real workloads, not just parameter sweeps).
+func TestNestingExhaustiveNeighborhood(t *testing.T) {
+	r := "abcabc"
+	tau := 2
+	l := len(r)
+	for s := range neighborhood(r, tau, "abc") {
+		if len(s) == 0 {
+			continue
+		}
+		for i := 1; i <= tau+1; i++ {
+			pi := partition.SegPos(l, tau, i)
+			li := partition.SegLen(l, tau, i)
+			loM, hiM := MultiMatch.Window(len(s), l, tau, i, pi, li)
+			loP, hiP := Position.Window(len(s), l, tau, i, pi, li)
+			if hiM >= loM && (loM < loP || hiM > hiP) {
+				t.Fatalf("nesting violated for s=%q i=%d", s, i)
+			}
+		}
+	}
+}

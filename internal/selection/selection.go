@@ -1,0 +1,153 @@
+// Package selection implements the substring-selection methods of Pass-Join
+// (§4). Given a probe string s and an inverted index L^i_l (the i-th
+// segments of indexed strings of length l), each method chooses which
+// substrings of s to look up. All four methods of the paper are provided:
+//
+//   - Length (§4, "length-based"): every substring of the segment's length.
+//   - Shift (§4, "shift-based", Wang et al. [22]): start positions within
+//     τ of the segment's start position.
+//   - Position (§4.1, "position-aware"): start positions bounded by the
+//     length-difference argument, ⌊(τ∓Δ)/2⌋ around the segment start.
+//   - MultiMatch (§4.2, "multi-match-aware"): the provably minimal window
+//     combining the left-side (i−1 preceding segments) and right-side
+//     (τ+1−i following segments) pigeonhole bounds.
+//
+// Windows are expressed as inclusive 1-based start-position ranges, matching
+// the paper's notation; an empty window has lo > hi.
+package selection
+
+import "fmt"
+
+// Method selects one of the paper's substring-selection strategies.
+type Method int
+
+const (
+	// MultiMatch is the paper's minimal selection (§4.2) and the default.
+	MultiMatch Method = iota
+	// Position is the position-aware selection (§4.1).
+	Position
+	// Shift is the shift-based selection extended from Wang et al.
+	Shift
+	// Length is the exhaustive length-based selection.
+	Length
+)
+
+// Methods lists all selection methods in pruning-power order (strongest
+// first), for sweeps in benchmarks and experiments.
+var Methods = []Method{MultiMatch, Position, Shift, Length}
+
+// String returns the name used in the paper's figures.
+func (m Method) String() string {
+	switch m {
+	case Length:
+		return "Length"
+	case Shift:
+		return "Shift"
+	case Position:
+		return "Position"
+	case MultiMatch:
+		return "Multi-Match"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod converts a user-facing name into a Method.
+func ParseMethod(name string) (Method, error) {
+	switch name {
+	case "length", "Length":
+		return Length, nil
+	case "shift", "Shift":
+		return Shift, nil
+	case "position", "Position":
+		return Position, nil
+	case "multimatch", "multi-match", "Multi-Match", "MultiMatch":
+		return MultiMatch, nil
+	}
+	return 0, fmt.Errorf("selection: unknown method %q", name)
+}
+
+// Window returns the inclusive 1-based range [lo, hi] of start positions of
+// the substrings of a probe string (length sLen) that method m selects for
+// the i-th segment (1-based) of indexed strings of length l. pi is the
+// 1-based start position of that segment and segLen its length; tau is the
+// edit-distance threshold. The window is empty (lo > hi) when no substring
+// can match.
+//
+// The length difference Δ = sLen − l may be negative (R≠S joins probe
+// indexes of longer strings); all four formulas remain valid.
+func (m Method) Window(sLen, l, tau, i, pi, segLen int) (lo, hi int) {
+	last := sLen - segLen + 1 // last feasible start position
+	if last < 1 {
+		return 1, 0
+	}
+	delta := sLen - l
+	switch m {
+	case Length:
+		lo, hi = 1, last
+	case Shift:
+		lo = pi - tau
+		hi = pi + tau
+	case Position:
+		// pmin = pi − ⌊(τ−Δ)/2⌋, pmax = pi + ⌊(τ+Δ)/2⌋ (§4.1).
+		lo = pi - (tau-delta)/2
+		hi = pi + (tau+delta)/2
+	case MultiMatch:
+		// ⊥i = max(⊥l_i, ⊥r_i), ⊤i = min(⊤l_i, ⊤r_i) (§4.2):
+		// left perspective allows a shift of at most i−1, right perspective
+		// a shift (relative to pi+Δ) of at most τ+1−i.
+		loL := pi - (i - 1)
+		hiL := pi + (i - 1)
+		loR := pi + delta - (tau + 1 - i)
+		hiR := pi + delta + (tau + 1 - i)
+		lo = max(loL, loR)
+		hi = min(hiL, hiR)
+	default:
+		panic(fmt.Sprintf("selection: invalid method %d", int(m)))
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > last {
+		hi = last
+	}
+	return lo, hi
+}
+
+// TheoreticalTotal returns the paper's closed-form count of substrings
+// selected for one probe string of length sLen against one indexed length l
+// (summed over all tau+1 segments), ignoring boundary clamping:
+//
+//	Length:     (τ+1)(|s|+1) − l
+//	Shift:      (τ+1)(2τ+1)
+//	Position:   (τ+1)²
+//	MultiMatch: ⌊(τ²−Δ²)/2⌋ + τ + 1       (Lemma 2)
+func (m Method) TheoreticalTotal(sLen, l, tau int) int {
+	delta := sLen - l
+	switch m {
+	case Length:
+		return (tau+1)*(sLen+1) - l
+	case Shift:
+		return (tau + 1) * (2*tau + 1)
+	case Position:
+		return (tau + 1) * (tau + 1)
+	case MultiMatch:
+		return (tau*tau-delta*delta)/2 + tau + 1
+	default:
+		panic(fmt.Sprintf("selection: invalid method %d", int(m)))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

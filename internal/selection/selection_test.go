@@ -1,0 +1,282 @@
+package selection
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"passjoin/internal/partition"
+	"passjoin/internal/verify"
+)
+
+// collect enumerates the actual substrings selected by method m for probe s
+// against indexed length l.
+func collect(m Method, s string, l, tau int) map[int][]string {
+	out := make(map[int][]string)
+	for i := 1; i <= tau+1; i++ {
+		pi := partition.SegPos(l, tau, i)
+		li := partition.SegLen(l, tau, i)
+		lo, hi := m.Window(len(s), l, tau, i, pi, li)
+		for p := lo; p <= hi; p++ {
+			out[i] = append(out[i], s[p-1:p-1+li])
+		}
+	}
+	return out
+}
+
+// §4.2 running example: r="vankatesh" (l=9), s="avataresha", tau=3. The
+// multi-match-aware method selects exactly 8 substrings.
+func TestPaperExampleMultiMatch(t *testing.T) {
+	got := collect(MultiMatch, "avataresha", 9, 3)
+	want := map[int][]string{
+		1: {"av"},
+		2: {"va", "at", "ta"},
+		3: {"ar", "re", "es"},
+		4: {"sha"},
+	}
+	for i := 1; i <= 4; i++ {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("segment %d: got %v, want %v", i, got[i], want[i])
+		}
+		for k := range want[i] {
+			if got[i][k] != want[i][k] {
+				t.Errorf("segment %d[%d]: got %q, want %q", i, k, got[i][k], want[i][k])
+			}
+		}
+	}
+}
+
+// §4.1 running example: the position-aware method selects 14 substrings.
+func TestPaperExamplePosition(t *testing.T) {
+	got := collect(Position, "avataresha", 9, 3)
+	want := map[int][]string{
+		1: {"av", "va", "at"},
+		2: {"va", "at", "ta", "ar"},
+		3: {"ta", "ar", "re", "es"},
+		4: {"res", "esh", "sha"},
+	}
+	total := 0
+	for i := 1; i <= 4; i++ {
+		total += len(got[i])
+		for k := range want[i] {
+			if k >= len(got[i]) || got[i][k] != want[i][k] {
+				t.Fatalf("segment %d: got %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	if total != 14 {
+		t.Errorf("position-aware selected %d substrings, want 14", total)
+	}
+}
+
+// The paper's size claims for the example: shift-based selects 28 substrings
+// before boundary clamping; multi-match selects ⌊(τ²−Δ²)/2⌋+τ+1 = 8.
+func TestTheoreticalTotals(t *testing.T) {
+	if n := Shift.TheoreticalTotal(10, 9, 3); n != 28 {
+		t.Errorf("shift theoretical = %d, want 28", n)
+	}
+	if n := Position.TheoreticalTotal(10, 9, 3); n != 16 {
+		t.Errorf("position theoretical = %d, want 16", n)
+	}
+	if n := MultiMatch.TheoreticalTotal(10, 9, 3); n != 8 {
+		t.Errorf("multi-match theoretical = %d, want 8", n)
+	}
+	// §4: length-based for |s|=l=15, tau=1 gives 17; shift 6; position 4;
+	// multi-match 2.
+	if n := Length.TheoreticalTotal(15, 15, 1); n != 17 {
+		t.Errorf("length theoretical = %d, want 17", n)
+	}
+	if n := Shift.TheoreticalTotal(15, 15, 1); n != 6 {
+		t.Errorf("shift theoretical = %d, want 6", n)
+	}
+	if n := Position.TheoreticalTotal(15, 15, 1); n != 4 {
+		t.Errorf("position theoretical = %d, want 4", n)
+	}
+	if n := MultiMatch.TheoreticalTotal(15, 15, 1); n != 2 {
+		t.Errorf("multi-match theoretical = %d, want 2", n)
+	}
+}
+
+// Lemma 2: with segments of length >= 2 (l >= 2(τ+1)) the enumerated
+// multi-match window sizes sum exactly to ⌊(τ²−Δ²)/2⌋+τ+1.
+func TestLemma2ExactCount(t *testing.T) {
+	for tau := 0; tau <= 6; tau++ {
+		for l := 2 * (tau + 1); l <= 2*(tau+1)+20; l++ {
+			for delta := -tau; delta <= tau; delta++ {
+				sLen := l + delta
+				if sLen < 1 {
+					continue
+				}
+				total := 0
+				for i := 1; i <= tau+1; i++ {
+					pi := partition.SegPos(l, tau, i)
+					li := partition.SegLen(l, tau, i)
+					lo, hi := MultiMatch.Window(sLen, l, tau, i, pi, li)
+					if hi >= lo {
+						total += hi - lo + 1
+					}
+				}
+				want := MultiMatch.TheoreticalTotal(sLen, l, tau)
+				if total != want {
+					t.Fatalf("tau=%d l=%d delta=%d: |Wm|=%d, want %d", tau, l, delta, total, want)
+				}
+			}
+		}
+	}
+}
+
+// Lemma 3: windows nest, Wm ⊆ Wp ⊆ Wf ⊆ Wℓ, for every parameter combination.
+func TestWindowNesting(t *testing.T) {
+	for tau := 0; tau <= 5; tau++ {
+		for l := tau + 1; l <= 40; l++ {
+			for delta := -tau; delta <= tau; delta++ {
+				sLen := l + delta
+				if sLen < 1 {
+					continue
+				}
+				for i := 1; i <= tau+1; i++ {
+					pi := partition.SegPos(l, tau, i)
+					li := partition.SegLen(l, tau, i)
+					loM, hiM := MultiMatch.Window(sLen, l, tau, i, pi, li)
+					loP, hiP := Position.Window(sLen, l, tau, i, pi, li)
+					loF, hiF := Shift.Window(sLen, l, tau, i, pi, li)
+					loL, hiL := Length.Window(sLen, l, tau, i, pi, li)
+					if hiM >= loM && (loM < loP || hiM > hiP) {
+						t.Fatalf("Wm ⊄ Wp: tau=%d l=%d Δ=%d i=%d: [%d,%d] vs [%d,%d]", tau, l, delta, i, loM, hiM, loP, hiP)
+					}
+					if hiP >= loP && (loP < loF || hiP > hiF) {
+						t.Fatalf("Wp ⊄ Wf: tau=%d l=%d Δ=%d i=%d", tau, l, delta, i)
+					}
+					if hiF >= loF && (loF < loL || hiF > hiL) {
+						t.Fatalf("Wf ⊄ Wℓ: tau=%d l=%d Δ=%d i=%d", tau, l, delta, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Completeness (Theorems 1–2): if ed(r,s) <= tau then for l=|r| some
+// selected substring of s equals the corresponding segment of r. This is
+// the property the whole join's exactness rests on.
+func TestCompletenessUnderMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4000; trial++ {
+		tau := rng.Intn(5)
+		rLen := tau + 1 + rng.Intn(30)
+		r := randString(rng, rLen, 4)
+		s := mutateK(rng, r, rng.Intn(tau+1), 4)
+		if len(s) == 0 {
+			continue
+		}
+		// The mutation may exceed tau edits only if rng produced fewer ops;
+		// recheck with the reference metric.
+		if verify.EditDistance(r, s) > tau {
+			continue
+		}
+		for _, m := range Methods {
+			if !findsMatch(m, r, s, tau) {
+				t.Fatalf("method %v misses similar pair r=%q s=%q tau=%d", m, r, s, tau)
+			}
+		}
+	}
+}
+
+func findsMatch(m Method, r, s string, tau int) bool {
+	l := len(r)
+	for i := 1; i <= tau+1; i++ {
+		pi := partition.SegPos(l, tau, i)
+		li := partition.SegLen(l, tau, i)
+		seg := r[pi-1 : pi-1+li]
+		lo, hi := m.Window(len(s), l, tau, i, pi, li)
+		for p := lo; p <= hi; p++ {
+			if s[p-1:p-1+li] == seg {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// quick property: multi-match windows are never larger than position
+// windows, and both respect string bounds.
+func TestQuickWindowBounds(t *testing.T) {
+	f := func(tauRaw, lRaw, dRaw uint8) bool {
+		tau := int(tauRaw % 6)
+		l := tau + 1 + int(lRaw%50)
+		delta := int(dRaw%uint8(2*tau+1)) - tau
+		sLen := l + delta
+		if sLen < 1 {
+			return true
+		}
+		for i := 1; i <= tau+1; i++ {
+			pi := partition.SegPos(l, tau, i)
+			li := partition.SegLen(l, tau, i)
+			for _, m := range Methods {
+				lo, hi := m.Window(sLen, l, tau, i, pi, li)
+				if hi < lo {
+					continue
+				}
+				if lo < 1 || hi+li-1 > sLen {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowEmptyWhenProbeTooShort(t *testing.T) {
+	// Probe shorter than the segment: no feasible start position.
+	for _, m := range Methods {
+		lo, hi := m.Window(2, 12, 3, 1, 1, 3)
+		if hi >= lo {
+			t.Errorf("%v: expected empty window, got [%d,%d]", m, lo, hi)
+		}
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	for _, m := range Methods {
+		got, err := ParseMethod(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMethod(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMethod("bogus"); err == nil {
+		t.Error("expected error for bogus method")
+	}
+	if Method(99).String() == "" {
+		t.Error("unknown method should still render")
+	}
+}
+
+// --- helpers ---
+
+func randString(rng *rand.Rand, n, alpha int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(alpha))
+	}
+	return string(b)
+}
+
+func mutateK(rng *rand.Rand, s string, k, alpha int) string {
+	b := []byte(s)
+	for e := 0; e < k; e++ {
+		switch op := rng.Intn(3); {
+		case op == 0 && len(b) > 0:
+			b[rng.Intn(len(b))] = byte('a' + rng.Intn(alpha))
+		case op == 1 && len(b) > 0:
+			i := rng.Intn(len(b))
+			b = append(b[:i], b[i+1:]...)
+		default:
+			i := rng.Intn(len(b) + 1)
+			b = append(b[:i], append([]byte{byte('a' + rng.Intn(alpha))}, b[i:]...)...)
+		}
+	}
+	return string(b)
+}

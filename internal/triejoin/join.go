@@ -1,0 +1,194 @@
+package triejoin
+
+import (
+	"fmt"
+	"sort"
+
+	"passjoin/internal/core"
+	"passjoin/internal/metrics"
+)
+
+// activeEnt is one active node: a trie node whose prefix string is within
+// distance d of the string spelled by the current traversal path.
+type activeEnt struct {
+	id int32
+	d  int32
+}
+
+// Join runs the Trie-Join self join at threshold tau. Result pairs carry
+// original input indices (R < S), sorted.
+func Join(strs []string, tau int, st *metrics.Stats) ([]core.Pair, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("triejoin: negative threshold %d", tau)
+	}
+	t := Build(strs)
+	j := &joiner{
+		t:     t,
+		tau:   int32(tau),
+		st:    st,
+		dist:  make([]int32, len(t.nodes)),
+		stamp: make([]int32, len(t.nodes)),
+	}
+	for i := range j.stamp {
+		j.stamp[i] = -1
+	}
+	if st != nil {
+		st.Strings += int64(len(strs))
+		st.IndexBytes = t.Bytes()
+		st.IndexEntries = int64(t.NumNodes())
+	}
+	j.walk(0, j.rootActive())
+	if st != nil {
+		st.Results += int64(len(j.out))
+	}
+	core.SortPairs(j.out)
+	return j.out, nil
+}
+
+type joiner struct {
+	t   *Trie
+	tau int32
+	st  *metrics.Stats
+
+	// dist/stamp implement the per-step sparse distance map.
+	dist  []int32
+	stamp []int32
+	epoch int32
+
+	touched []int32
+
+	out []core.Pair
+}
+
+// rootActive returns the active set of the empty prefix: every node within
+// depth tau (reachable by insertions only).
+func (j *joiner) rootActive() []activeEnt {
+	var out []activeEnt
+	for id := range j.t.nodes {
+		if d := j.t.nodes[id].depth; d <= j.tau {
+			out = append(out, activeEnt{id: int32(id), d: d})
+		}
+	}
+	return out
+}
+
+// step computes the active set of the path extended by character x from
+// the parent's active set, via the three edit transitions:
+//
+//	delete x:     (v, d)      -> (v, d+1)
+//	match/subst:  (u, d)      -> (child, d+δ)
+//	insert label: (u, d') new -> (child, d'+1), propagated downward
+//
+// This is the sparse column of the trie dynamic program; entries above tau
+// are dropped.
+func (j *joiner) step(parent []activeEnt, x byte) []activeEnt {
+	j.epoch++
+	ep := j.epoch
+	j.touched = j.touched[:0]
+	nodes := j.t.nodes
+
+	relax := func(v, d int32) bool {
+		if d > j.tau {
+			return false
+		}
+		if j.stamp[v] != ep {
+			j.stamp[v] = ep
+			j.dist[v] = d
+			j.touched = append(j.touched, v)
+			return true
+		}
+		if d < j.dist[v] {
+			j.dist[v] = d
+			return true
+		}
+		return false
+	}
+
+	for _, e := range parent {
+		relax(e.id, e.d+1)
+		for c := nodes[e.id].firstChild; c >= 0; c = nodes[c].nextSib {
+			dd := e.d
+			if nodes[c].label != x {
+				dd++
+			}
+			relax(c, dd)
+		}
+	}
+	if j.st != nil {
+		j.st.DPCells += int64(len(parent))
+	}
+
+	// Downward propagation of insertions until fixpoint (at most tau
+	// rounds, since every improvement lowers a distance).
+	frontier := append([]int32(nil), j.touched...)
+	for len(frontier) > 0 {
+		var next []int32
+		for _, u := range frontier {
+			du := j.dist[u]
+			if du+1 > j.tau {
+				continue
+			}
+			for c := nodes[u].firstChild; c >= 0; c = nodes[c].nextSib {
+				if relax(c, du+1) {
+					next = append(next, c)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	out := make([]activeEnt, len(j.touched))
+	for i, v := range j.touched {
+		out[i] = activeEnt{id: v, d: j.dist[v]}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out
+}
+
+// walk traverses the trie in preorder; at every terminal node it emits
+// pairs with the terminal active nodes that precede it.
+func (j *joiner) walk(u int32, active []activeEnt) {
+	nodes := j.t.nodes
+	if ids := nodes[u].ids; len(ids) > 0 {
+		if j.st != nil {
+			j.st.Candidates += int64(len(active))
+		}
+		for _, e := range active {
+			other := nodes[e.id].ids
+			if len(other) == 0 {
+				continue
+			}
+			switch {
+			case e.id < u:
+				for _, a := range ids {
+					for _, b := range other {
+						j.emit(a, b)
+					}
+				}
+			case e.id == u:
+				for i := 0; i < len(ids); i++ {
+					for k := i + 1; k < len(ids); k++ {
+						j.emit(ids[i], ids[k])
+					}
+				}
+			}
+		}
+	}
+	for c := nodes[u].firstChild; c >= 0; c = nodes[c].nextSib {
+		j.walk(c, j.step(active, nodes[c].label))
+	}
+}
+
+func (j *joiner) emit(a, b int32) {
+	if a > b {
+		a, b = b, a
+	}
+	j.out = append(j.out, core.Pair{R: a, S: b})
+}
+
+// IndexFootprint builds the trie over strs and reports its approximate
+// size and node count, for the Table 3 experiment.
+func IndexFootprint(strs []string) (bytes, entries int64) {
+	t := Build(strs)
+	return t.Bytes(), int64(t.NumNodes())
+}

@@ -1,0 +1,87 @@
+package triejoin
+
+import (
+	"fmt"
+
+	"passjoin/internal/core"
+	"passjoin/internal/metrics"
+)
+
+// JoinSearch is the Trie-Search variant of Trie-Join (the paper's first
+// algorithm family): build the trie over the whole collection once, then
+// for every string walk its characters from the root, maintaining the
+// active-node set of each prefix, and collect terminal active nodes at the
+// last character. The shared-path DFS of Join amortizes prefix work across
+// strings; Trie-Search repeats it per string, which is exactly why the
+// Trie-Join paper proposes the traversal variants. Both are exact; the
+// Pass-Join evaluation "reported the best results" among the variants, so
+// JoinBest picks the faster one.
+func JoinSearch(strs []string, tau int, st *metrics.Stats) ([]core.Pair, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("triejoin: negative threshold %d", tau)
+	}
+	t := Build(strs)
+	j := &joiner{
+		t:     t,
+		tau:   int32(tau),
+		st:    st,
+		dist:  make([]int32, len(t.nodes)),
+		stamp: make([]int32, len(t.nodes)),
+	}
+	for i := range j.stamp {
+		j.stamp[i] = -1
+	}
+	if st != nil {
+		st.Strings += int64(len(strs))
+		st.IndexBytes = t.Bytes()
+		st.IndexEntries = int64(t.NumNodes())
+	}
+
+	root := j.rootActive()
+	var out []core.Pair
+	for i, s := range strs {
+		active := root
+		for k := 0; k < len(s); k++ {
+			active = j.step(active, s[k])
+		}
+		if st != nil {
+			st.Candidates += int64(len(active))
+		}
+		for _, e := range active {
+			// Emit each unordered pair once: claimed by the string with the
+			// larger original index (duplicates at the same terminal node
+			// included, the string itself excluded).
+			for _, other := range t.nodes[e.id].ids {
+				if other < int32(i) {
+					out = append(out, core.Pair{R: other, S: int32(i)})
+				}
+			}
+		}
+	}
+	if st != nil {
+		st.Results += int64(len(out))
+	}
+	core.SortPairs(out)
+	return out, nil
+}
+
+// JoinBest runs the best Trie-Join variant for the input: the shared-path
+// DFS (Join) in general — it dominates Trie-Search by amortizing prefix
+// work — keeping Trie-Search available for ablation.
+func JoinBest(strs []string, tau int, st *metrics.Stats) ([]core.Pair, error) {
+	return Join(strs, tau, st)
+}
+
+// VariantNames lists the implemented Trie-Join algorithm variants.
+var VariantNames = []string{"pathstack", "search"}
+
+// JoinVariant dispatches by variant name.
+func JoinVariant(variant string, strs []string, tau int, st *metrics.Stats) ([]core.Pair, error) {
+	switch variant {
+	case "pathstack":
+		return Join(strs, tau, st)
+	case "search":
+		return JoinSearch(strs, tau, st)
+	}
+	return nil, fmt.Errorf("triejoin: unknown variant %q (have %v)", variant, VariantNames)
+}

@@ -1,0 +1,305 @@
+package triejoin
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"passjoin/internal/bruteforce"
+	"passjoin/internal/core"
+	"passjoin/internal/metrics"
+	"passjoin/internal/verify"
+)
+
+func TestBuildBasics(t *testing.T) {
+	tr := Build([]string{"ab", "abc", "abd", "x", ""})
+	if tr.NumNodes() != 6 { // root, a, ab, abc, abd, x
+		t.Fatalf("NumNodes = %d, want 6", tr.NumNodes())
+	}
+	// Root holds the empty string id.
+	if len(tr.nodes[0].ids) != 1 || tr.nodes[0].ids[0] != 4 {
+		t.Errorf("root ids = %v", tr.nodes[0].ids)
+	}
+	// Preorder: parent < child.
+	for i := range tr.nodes {
+		for c := tr.nodes[i].firstChild; c >= 0; c = tr.nodes[c].nextSib {
+			if c <= int32(i) {
+				t.Fatalf("child %d <= parent %d", c, i)
+			}
+			if tr.nodes[c].depth != tr.nodes[i].depth+1 {
+				t.Fatalf("depth mismatch at %d", c)
+			}
+		}
+	}
+	if tr.Bytes() <= 0 {
+		t.Error("Bytes should be positive")
+	}
+}
+
+func TestBuildPrefixTerminals(t *testing.T) {
+	// A string that is a prefix of another terminates at an internal node.
+	tr := Build([]string{"abcd", "ab"})
+	found := 0
+	for i := range tr.nodes {
+		if len(tr.nodes[i].ids) > 0 {
+			found++
+			if tr.nodes[i].depth != 4 && tr.nodes[i].depth != 2 {
+				t.Errorf("terminal at depth %d", tr.nodes[i].depth)
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("found %d terminal nodes, want 2", found)
+	}
+}
+
+func TestBuildSharesPrefixes(t *testing.T) {
+	tr := Build([]string{"abcde", "abcdf", "abcdg"})
+	// root + abcd(4) + 3 leaves = 8
+	if tr.NumNodes() != 8 {
+		t.Fatalf("NumNodes = %d, want 8", tr.NumNodes())
+	}
+}
+
+// Active sets must be exactly {v : ed(path(u), path(v)) <= tau} with exact
+// distances: validated against the reference edit distance over all prefix
+// pairs of a small corpus.
+func TestActiveSetsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		var strs []string
+		for i := 0; i < 8; i++ {
+			strs = append(strs, randStr(rng, rng.Intn(7), 2))
+		}
+		tau := rng.Intn(3)
+		tr := Build(strs)
+		j := &joiner{t: tr, tau: int32(tau), dist: make([]int32, tr.NumNodes()), stamp: make([]int32, tr.NumNodes())}
+		for i := range j.stamp {
+			j.stamp[i] = -1
+		}
+		// Reconstruct each node's path string.
+		paths := make([]string, tr.NumNodes())
+		var rec func(u int32, prefix string)
+		rec = func(u int32, prefix string) {
+			paths[u] = prefix
+			for c := tr.nodes[u].firstChild; c >= 0; c = tr.nodes[c].nextSib {
+				rec(c, prefix+string(tr.nodes[c].label))
+			}
+		}
+		rec(0, "")
+		var walk func(u int32, active []activeEnt)
+		walk = func(u int32, active []activeEnt) {
+			got := make(map[int32]int32)
+			for _, e := range active {
+				got[e.id] = e.d
+			}
+			for v := 0; v < tr.NumNodes(); v++ {
+				want := verify.EditDistance(paths[u], paths[v])
+				d, ok := got[int32(v)]
+				if want <= tau {
+					if !ok || int(d) != want {
+						t.Fatalf("tau=%d u=%q v=%q: active dist %d (present=%v), want %d", tau, paths[u], paths[v], d, ok, want)
+					}
+				} else if ok {
+					t.Fatalf("tau=%d u=%q v=%q: spurious active node (d=%d)", tau, paths[u], paths[v], d)
+				}
+			}
+			for c := tr.nodes[u].firstChild; c >= 0; c = tr.nodes[c].nextSib {
+				walk(c, j.step(active, tr.nodes[c].label))
+			}
+		}
+		walk(0, j.rootActive())
+	}
+}
+
+func TestJoinEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	corpora := map[string][]string{
+		"random":   corpus(rng, 100, 14, 3),
+		"lowalpha": corpus(rng, 80, 10, 2),
+		"shorts":   {"", "a", "b", "ab", "ba", "aa", "abc", "abd", "xyz", ""},
+	}
+	for name, strs := range corpora {
+		for tau := 0; tau <= 3; tau++ {
+			got, err := Join(strs, tau, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make(map[core.Pair]bool)
+			for _, p := range bruteforce.SelfJoin(strs, tau) {
+				want[core.Pair{R: p.R, S: p.S}] = true
+			}
+			gotSet := make(map[core.Pair]bool)
+			for _, p := range got {
+				if gotSet[p] {
+					t.Fatalf("%s tau=%d: duplicate %v", name, tau, p)
+				}
+				gotSet[p] = true
+			}
+			if len(gotSet) != len(want) {
+				t.Fatalf("%s tau=%d: %d pairs, want %d", name, tau, len(gotSet), len(want))
+			}
+			for p := range want {
+				if !gotSet[p] {
+					t.Fatalf("%s tau=%d: missing %v", name, tau, p)
+				}
+			}
+		}
+	}
+}
+
+func TestJoinPaperExample(t *testing.T) {
+	strs := []string{
+		"avataresha", "caushik chakrabar", "kaushic chaduri",
+		"kaushik chakrab", "kaushuk chadhui", "vankatesh",
+	}
+	got, err := Join(strs, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != (core.Pair{R: 1, S: 3}) {
+		t.Fatalf("got %v, want [(1,3)]", got)
+	}
+}
+
+func TestNegativeTau(t *testing.T) {
+	if _, err := Join([]string{"a"}, -1, nil); err == nil {
+		t.Error("negative tau accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	strs := corpus(rng, 60, 10, 3)
+	st := &metrics.Stats{}
+	got, err := Join(strs, 2, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Results != int64(len(got)) || st.IndexBytes <= 0 || st.Strings != int64(len(strs)) {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestQuickJoinEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		strs := corpus(rng, 25, 8, 2)
+		tau := rng.Intn(3)
+		got, err := Join(strs, tau, nil)
+		if err != nil {
+			return false
+		}
+		want := bruteforce.SelfJoin(strs, tau)
+		if len(got) != len(want) {
+			return false
+		}
+		wantSet := make(map[core.Pair]bool)
+		for _, p := range want {
+			wantSet[core.Pair{R: p.R, S: p.S}] = true
+		}
+		for _, p := range got {
+			if !wantSet[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexFootprint(t *testing.T) {
+	bytes, entries := IndexFootprint([]string{"abc", "abd", "xyz"})
+	if bytes <= 0 || entries <= 0 {
+		t.Errorf("footprint %d/%d", bytes, entries)
+	}
+}
+
+// --- helpers ---
+
+func randStr(rng *rand.Rand, n, alpha int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(alpha))
+	}
+	return string(b)
+}
+
+func corpus(rng *rand.Rand, n, maxLen, alpha int) []string {
+	strs := make([]string, 0, n)
+	for len(strs) < n {
+		if len(strs) > 0 && rng.Float64() < 0.5 {
+			b := []byte(strs[rng.Intn(len(strs))])
+			for e := 0; e < 1+rng.Intn(2); e++ {
+				switch op := rng.Intn(3); {
+				case op == 0 && len(b) > 0:
+					b[rng.Intn(len(b))] = byte('a' + rng.Intn(alpha))
+				case op == 1 && len(b) > 0:
+					i := rng.Intn(len(b))
+					b = append(b[:i], b[i+1:]...)
+				default:
+					i := rng.Intn(len(b) + 1)
+					b = append(b[:i], append([]byte{byte('a' + rng.Intn(alpha))}, b[i:]...)...)
+				}
+			}
+			strs = append(strs, string(b))
+		} else {
+			strs = append(strs, randStr(rng, rng.Intn(maxLen+1), alpha))
+		}
+	}
+	return strs
+}
+
+var _ = fmt.Sprintf
+
+func TestJoinSearchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	corpora := map[string][]string{
+		"random": corpus(rng, 90, 12, 3),
+		"shorts": {"", "a", "b", "ab", "ba", "aa", "abc", "abd", "xyz", ""},
+		"dups":   {"dup", "dup", "dup", "dop", "dap"},
+	}
+	for name, strs := range corpora {
+		for tau := 0; tau <= 3; tau++ {
+			fromDFS, err := Join(strs, tau, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromSearch, err := JoinSearch(strs, tau, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fromDFS) != len(fromSearch) {
+				t.Fatalf("%s tau=%d: search %d pairs, pathstack %d", name, tau, len(fromSearch), len(fromDFS))
+			}
+			for i := range fromDFS {
+				if fromDFS[i] != fromSearch[i] {
+					t.Fatalf("%s tau=%d: pair %d differs: %v vs %v", name, tau, i, fromSearch[i], fromDFS[i])
+				}
+			}
+		}
+	}
+}
+
+func TestJoinVariantDispatch(t *testing.T) {
+	strs := []string{"abc", "abd"}
+	for _, v := range VariantNames {
+		got, err := JoinVariant(v, strs, 1, nil)
+		if err != nil || len(got) != 1 {
+			t.Errorf("variant %s: %v %v", v, got, err)
+		}
+	}
+	if _, err := JoinVariant("nope", strs, 1, nil); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if _, err := JoinSearch(strs, -1, nil); err == nil {
+		t.Error("negative tau accepted")
+	}
+	best, err := JoinBest(strs, 1, nil)
+	if err != nil || len(best) != 1 {
+		t.Errorf("JoinBest: %v %v", best, err)
+	}
+}

@@ -1,0 +1,154 @@
+package verify
+
+import "passjoin/internal/metrics"
+
+// Verifier computes thresholded edit distances with reusable row buffers so
+// the hot join loop performs no allocations. The zero value is ready to use.
+// A Verifier is not safe for concurrent use; each worker owns one.
+type Verifier struct {
+	prev, cur []int
+	// Stats, when non-nil, receives DPCells/EarlyTerms counters.
+	Stats *metrics.Stats
+}
+
+// Dist returns min(ed(a,b), tau+1) using the length-aware band of §5.1:
+// row i only computes columns j with i−⌊(τ−Δ)/2⌋ ≤ j ≤ i+⌊(τ+Δ)/2⌋ where
+// Δ = |b|−|a| (the band adapts to the length difference, τ+1 cells per row),
+// and the computation terminates early as soon as every expected edit
+// distance E(i,j) = M(i,j) + |(|b|−j)−(|a|−i)| in a row exceeds tau
+// (Lemma 4).
+func (v *Verifier) Dist(a, b string, tau int) int {
+	return v.banded(a, b, tau, true)
+}
+
+// DistNaive returns min(ed(a,b), tau+1) using the naive band of prior work:
+// 2τ+1 cells per row (|j−i| ≤ τ) and prefix pruning only (terminate when
+// every M(i,j) in a row exceeds tau). It exists as the "2τ+1" baseline of
+// Figure 14.
+func (v *Verifier) DistNaive(a, b string, tau int) int {
+	return v.banded(a, b, tau, false)
+}
+
+// banded runs the DP over rows of a and columns of b. lengthAware selects
+// the τ+1 band plus expected-distance early termination; otherwise the 2τ+1
+// band plus plain prefix pruning is used. Works for either orientation
+// (|a| ≤ |b| or |a| > |b|).
+func (v *Verifier) banded(a, b string, tau int, lengthAware bool) int {
+	if tau < 0 {
+		panic("verify: negative threshold")
+	}
+	m, n := len(a), len(b)
+	d := n - m
+	if abs(d) > tau {
+		return tau + 1
+	}
+	if m == 0 || n == 0 {
+		// Distance is the length of the other string, already known ≤ tau.
+		return maxInt(m, n)
+	}
+
+	var left, right int
+	if lengthAware {
+		left = (tau - d) / 2
+		right = (tau + d) / 2
+	} else {
+		left, right = tau, tau
+	}
+	width := left + right + 1
+	if cap(v.prev) < width {
+		v.prev = make([]int, width)
+		v.cur = make([]int, width)
+	}
+	prev := v.prev[:width]
+	cur := v.cur[:width]
+
+	const inf = 1 << 29
+	cells := 0
+
+	// Row 0: M(0,j) = j for j in [0, right].
+	for k := 0; k < width; k++ {
+		// Row 0 band is j in [-left, right]; only j >= 0 is real.
+		j := k - left
+		if j >= 0 && j <= n {
+			prev[k] = j
+		} else {
+			prev[k] = inf
+		}
+	}
+
+	for i := 1; i <= m; i++ {
+		lo := maxInt(0, i-left)
+		hi := minInt(n, i+right)
+		if lo > hi {
+			// Band fell off the matrix; cannot happen while |d| <= tau, but
+			// keep the guard for safety.
+			return tau + 1
+		}
+		ai := a[i-1]
+		rowMin := inf
+		for k := 0; k < width; k++ {
+			j := i - left + k
+			if j < lo || j > hi {
+				cur[k] = inf
+				continue
+			}
+			best := inf
+			if j == 0 {
+				best = i
+			} else {
+				// Diagonal: M(i-1, j-1) is previous row at offset
+				// (j-1)-((i-1)-left) = k.
+				if dg := prev[k]; dg < inf {
+					cost := dg
+					if ai != b[j-1] {
+						cost++
+					}
+					if cost < best {
+						best = cost
+					}
+				}
+				// Left: M(i, j-1) at offset k-1 in current row.
+				if k-1 >= 0 {
+					if lf := cur[k-1]; lf < inf && lf+1 < best {
+						best = lf + 1
+					}
+				}
+			}
+			// Up: M(i-1, j) at offset j-((i-1)-left) = k+1.
+			if k+1 < width {
+				if up := prev[k+1]; up < inf && up+1 < best {
+					best = up + 1
+				}
+			}
+			cur[k] = best
+			cells++
+			var e int
+			if lengthAware {
+				e = best + abs((n-j)-(m-i))
+			} else {
+				e = best
+			}
+			if e < rowMin {
+				rowMin = e
+			}
+		}
+		if rowMin > tau {
+			if v.Stats != nil {
+				v.Stats.DPCells += int64(cells)
+				v.Stats.EarlyTerms++
+			}
+			return tau + 1
+		}
+		prev, cur = cur, prev
+	}
+	if v.Stats != nil {
+		v.Stats.DPCells += int64(cells)
+	}
+	// Answer is M(m, n), stored in prev (after the final swap) at offset
+	// n - (m - left).
+	res := prev[n-(m-left)]
+	if res > tau {
+		return tau + 1
+	}
+	return res
+}

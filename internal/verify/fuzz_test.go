@@ -1,0 +1,60 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDist cross-checks the banded verifiers against the reference DP on
+// arbitrary byte strings and thresholds. Run with `go test -fuzz=FuzzDist`
+// for continuous fuzzing; the seed corpus runs under plain `go test`.
+func FuzzDist(f *testing.F) {
+	f.Add("kitten", "sitting", 3)
+	f.Add("", "", 0)
+	f.Add("kaushic chaduri", "kaushuk chadhui", 4)
+	f.Add("aaaaaaaa", "aaaa", 2)
+	f.Add("\x00\xff", "\xff\x00", 1)
+	f.Add(strings.Repeat("ab", 40), strings.Repeat("ba", 40), 7)
+	f.Fuzz(func(t *testing.T, a, b string, tau int) {
+		if tau < 0 || tau > 16 || len(a) > 300 || len(b) > 300 {
+			t.Skip()
+		}
+		var v Verifier
+		want := EditDistance(a, b)
+		if want > tau {
+			want = tau + 1
+		}
+		if got := v.Dist(a, b, tau); got != want {
+			t.Fatalf("Dist(%q,%q,%d) = %d, want %d", a, b, tau, got, want)
+		}
+		if got := v.DistNaive(a, b, tau); got != want {
+			t.Fatalf("DistNaive(%q,%q,%d) = %d, want %d", a, b, tau, got, want)
+		}
+		if got := v.DistMyers(a, b, tau); got != want {
+			t.Fatalf("DistMyers(%q,%q,%d) = %d, want %d", a, b, tau, got, want)
+		}
+	})
+}
+
+// FuzzIncremental cross-checks the shared-prefix verifier on batches
+// derived from the fuzzer's inputs.
+func FuzzIncremental(f *testing.F) {
+	f.Add("abcdefgh", "abcdefgx", "abcdxxgh", 2)
+	f.Add("", "a", "b", 1)
+	f.Fuzz(func(t *testing.T, target, src1, src2 string, tau int) {
+		if tau < 0 || tau > 8 || len(target) > 200 || len(src1) > 200 || len(src2) > 200 {
+			t.Skip()
+		}
+		var inc Incremental
+		inc.Reset(target, tau)
+		for _, src := range []string{src1, src2, src1} {
+			want := EditDistance(src, target)
+			if want > tau {
+				want = tau + 1
+			}
+			if got := inc.Dist(src); got != want {
+				t.Fatalf("Incremental(%q vs %q, tau=%d) = %d, want %d", src, target, tau, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,201 @@
+package verify
+
+import "passjoin/internal/metrics"
+
+// Incremental is the shared-computation verifier of §5.3. It verifies a
+// sequence of source strings against one fixed target string, resuming the
+// dynamic program from the longest common prefix of consecutive sources.
+// Inverted lists are sorted (the join visits strings in sorted order), so
+// consecutive left parts share long prefixes and most rows are reused.
+//
+// The matrix is banded exactly like Verifier.Dist (length-aware, τ+1 cells
+// per row) with the expected-edit-distance early termination. All rows are
+// retained so that a later source can resume at any prefix depth.
+//
+// The zero value is ready; call Reset before the first Dist.
+type Incremental struct {
+	t   string // fixed side (columns)
+	tau int
+	m   int // required source length (rows); set on first Dist after Reset
+
+	left, right, width int
+
+	rows     [][]int // rows[i] is DP row i (width cells), rows[0] is the base row
+	computed int     // rows[0..computed] are valid for prev
+	earlyRow int     // row index where the last run terminated early, -1 if none
+	prev     string  // previous source
+
+	// Stats, when non-nil, receives DPCells/EarlyTerms/SharedRows counters.
+	Stats *metrics.Stats
+}
+
+// Reset fixes the target string and threshold for subsequent Dist calls and
+// invalidates any cached rows.
+func (v *Incremental) Reset(t string, tau int) {
+	if tau < 0 {
+		panic("verify: negative threshold")
+	}
+	v.t = t
+	v.tau = tau
+	v.m = -1
+	v.computed = -1
+	v.earlyRow = -1
+	v.prev = ""
+}
+
+// Dist returns min(ed(r, t), tau+1) where t and tau were fixed by Reset.
+// Sources of differing lengths invalidate the cache (the band geometry and
+// the early-termination bound depend on |r|) but remain correct.
+func (v *Incremental) Dist(r string) int {
+	tau := v.tau
+	m, n := len(r), len(v.t)
+	d := n - m
+	if abs(d) > tau {
+		return tau + 1
+	}
+	if m == 0 || n == 0 {
+		return maxInt(m, n)
+	}
+	if m != v.m {
+		v.setup(m, n)
+	}
+
+	// Resume depth: rows 0..c are valid, where c is bounded by the common
+	// prefix with the previous source and by how many rows were computed.
+	c := 0
+	if v.computed >= 0 {
+		lcp := commonPrefix(v.prev, r)
+		c = minInt(lcp, v.computed)
+	}
+	if v.Stats != nil {
+		v.Stats.SharedRows += int64(c)
+	}
+	v.prev = r
+	if v.earlyRow >= 0 && v.earlyRow <= c {
+		// A previous source with this exact prefix terminated early at a row
+		// we are reusing; the verdict only depends on that prefix.
+		v.computed = v.earlyRow
+		return tau + 1
+	}
+
+	const inf = 1 << 29
+	left, right, width := v.left, v.right, v.width
+	cells := 0
+	for i := c + 1; i <= m; i++ {
+		lo := maxInt(0, i-left)
+		hi := minInt(n, i+right)
+		if lo > hi {
+			v.computed = i - 1
+			v.earlyRow = -1
+			return tau + 1
+		}
+		prevRow := v.rows[i-1]
+		curRow := v.rows[i]
+		ri := r[i-1]
+		rowMin := inf
+		for k := 0; k < width; k++ {
+			j := i - left + k
+			if j < lo || j > hi {
+				curRow[k] = inf
+				continue
+			}
+			best := inf
+			if j == 0 {
+				best = i
+			} else {
+				if dg := prevRow[k]; dg < inf {
+					cost := dg
+					if ri != v.t[j-1] {
+						cost++
+					}
+					if cost < best {
+						best = cost
+					}
+				}
+				if k-1 >= 0 {
+					if lf := curRow[k-1]; lf < inf && lf+1 < best {
+						best = lf + 1
+					}
+				}
+			}
+			if k+1 < width {
+				if up := prevRow[k+1]; up < inf && up+1 < best {
+					best = up + 1
+				}
+			}
+			curRow[k] = best
+			cells++
+			if e := best + abs((n-j)-(m-i)); e < rowMin {
+				rowMin = e
+			}
+		}
+		if rowMin > tau {
+			v.computed = i
+			v.earlyRow = i
+			if v.Stats != nil {
+				v.Stats.DPCells += int64(cells)
+				v.Stats.EarlyTerms++
+			}
+			return tau + 1
+		}
+	}
+	v.computed = m
+	v.earlyRow = -1
+	if v.Stats != nil {
+		v.Stats.DPCells += int64(cells)
+	}
+	res := v.rows[m][n-(m-left)]
+	if res > tau {
+		return tau + 1
+	}
+	return res
+}
+
+// setup (re)initializes band geometry and the base row for sources of
+// length m against the fixed target of length n.
+func (v *Incremental) setup(m, n int) {
+	tau := v.tau
+	d := n - m
+	v.m = m
+	v.left = (tau - d) / 2
+	v.right = (tau + d) / 2
+	v.width = v.left + v.right + 1
+	v.computed = -1
+	v.earlyRow = -1
+	v.prev = ""
+
+	if cap(v.rows) < m+1 {
+		rows := make([][]int, m+1)
+		copy(rows, v.rows)
+		v.rows = rows
+	}
+	v.rows = v.rows[:m+1]
+	for i := range v.rows {
+		if cap(v.rows[i]) < v.width {
+			v.rows[i] = make([]int, v.width)
+		} else {
+			v.rows[i] = v.rows[i][:v.width]
+		}
+	}
+
+	const inf = 1 << 29
+	for k := 0; k < v.width; k++ {
+		j := k - v.left
+		if j >= 0 && j <= n {
+			v.rows[0][k] = j
+		} else {
+			v.rows[0][k] = inf
+		}
+	}
+	v.computed = 0
+}
+
+// commonPrefix returns the length of the longest common prefix of a and b.
+func commonPrefix(a, b string) int {
+	n := minInt(len(a), len(b))
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}

@@ -1,0 +1,85 @@
+package verify
+
+// Bit-parallel edit distance (Myers 1999, in Hyyrö's formulation): the
+// dynamic-programming column is encoded in two machine words of vertical
+// delta bits, advancing one text character per constant-time step. For
+// patterns up to 64 characters this computes the exact distance in
+// O(|text|) word operations — an extension beyond the paper (whose
+// evaluation predates widespread use of bit-parallel verifiers) wired into
+// the engine as a fifth verification mode so it can be ablated against the
+// banded verifiers of §5.
+
+// myers64 returns ed(a, b) for 1 <= len(a) <= 64 using the bit-parallel
+// recurrence.
+func myers64(a, b string) int {
+	m := len(a)
+	var peq [256]uint64
+	for i := 0; i < m; i++ {
+		peq[a[i]] |= 1 << uint(i)
+	}
+	pv := ^uint64(0)
+	mv := uint64(0)
+	score := m
+	mask := uint64(1) << uint(m-1)
+	for j := 0; j < len(b); j++ {
+		eq := peq[b[j]]
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&mask != 0 {
+			score++
+		}
+		if mh&mask != 0 {
+			score--
+		}
+		ph = ph<<1 | 1
+		mh <<= 1
+		pv = mh | ^(xv | ph)
+		mv = ph & xv
+	}
+	return score
+}
+
+// Myers returns the exact edit distance between a and b, using the
+// bit-parallel kernel when the shorter string fits in one machine word and
+// the two-row dynamic program otherwise.
+func Myers(a, b string) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(a) <= 64 {
+		return myers64(a, b)
+	}
+	return EditDistance(a, b)
+}
+
+// DistMyers returns min(ed(a,b), tau+1) via the bit-parallel kernel. For
+// strings longer than a machine word it falls back to the length-aware
+// banded verifier (which also restores early termination, more valuable
+// for long strings anyway).
+func (v *Verifier) DistMyers(a, b string, tau int) int {
+	if tau < 0 {
+		panic("verify: negative threshold")
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b)-len(a) > tau {
+		return tau + 1
+	}
+	if len(a) == 0 {
+		return minInt(len(b), tau+1)
+	}
+	if len(a) > 64 {
+		return v.Dist(a, b, tau)
+	}
+	if v.Stats != nil {
+		// One word-op column per text character.
+		v.Stats.DPCells += int64(len(b))
+	}
+	return minInt(myers64(a, b), tau+1)
+}

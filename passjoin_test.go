@@ -1,0 +1,214 @@
+package passjoin
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"passjoin/internal/bruteforce"
+)
+
+var paperTable1 = []string{
+	"avataresha",
+	"caushik chakrabar",
+	"kaushic chaduri",
+	"kaushik chakrab",
+	"kaushuk chadhui",
+	"vankatesh",
+}
+
+func TestSelfJoinPaperExample(t *testing.T) {
+	pairs, err := SelfJoin(paperTable1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0] != (Pair{R: 1, S: 3}) {
+		t.Fatalf("got %v, want [{1 3}]", pairs)
+	}
+}
+
+func TestSelfJoinAllOptionCombos(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	strs := testCorpus(rng, 120)
+	want := bruteforce.SelfJoin(strs, 2)
+	for _, sel := range []SelectionMethod{SelectionMultiMatch, SelectionPosition, SelectionShift, SelectionLength} {
+		for _, ver := range []VerificationMethod{VerifySharePrefix, VerifyExtension, VerifyLengthAware, VerifyNaive} {
+			got, err := SelfJoin(strs, 2, WithSelection(sel), WithVerification(ver))
+			if err != nil {
+				t.Fatalf("%v/%v: %v", sel, ver, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v/%v: %d pairs, want %d", sel, ver, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestJoinDistinctSets(t *testing.T) {
+	queries := []string{"vldb", "icde confernce", "sigmod"}
+	catalog := []string{"pvldb", "icde conference", "sigmod record", "vldbj"}
+	pairs, err := Join(queries, catalog, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := make(map[Pair]bool)
+	for _, p := range pairs {
+		found[p] = true
+	}
+	if !found[(Pair{R: 0, S: 0})] { // vldb ~ pvldb
+		t.Error("missing vldb~pvldb")
+	}
+	if !found[(Pair{R: 1, S: 1})] { // icde confernce ~ icde conference
+		t.Error("missing icde pair")
+	}
+	if found[(Pair{R: 2, S: 1})] {
+		t.Error("spurious sigmod pair")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := SelfJoin(nil, -1); err == nil {
+		t.Error("negative tau accepted")
+	}
+	if _, err := SelfJoin(nil, 1, WithSelection(SelectionMethod(99))); err == nil {
+		t.Error("invalid selection accepted")
+	}
+	if _, err := SelfJoin(nil, 1, WithVerification(VerificationMethod(99))); err == nil {
+		t.Error("invalid verification accepted")
+	}
+	if _, err := SelfJoin(nil, 1, WithStats(nil)); err == nil {
+		t.Error("nil stats accepted")
+	}
+	if _, err := SelfJoin(nil, 1, WithParallelism(-2)); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+	if _, err := SelfJoin(nil, 1, nil); err == nil {
+		t.Error("nil option accepted")
+	}
+	if _, err := Join(nil, nil, -1); err == nil {
+		t.Error("Join negative tau accepted")
+	}
+	if _, err := NewMatcher(-1); err == nil {
+		t.Error("NewMatcher negative tau accepted")
+	}
+}
+
+func TestWithStats(t *testing.T) {
+	var st Stats
+	pairs, err := SelfJoin(paperTable1, 3, WithStats(&st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Results != int64(len(pairs)) {
+		t.Errorf("Results=%d, want %d", st.Results, len(pairs))
+	}
+	if st.Strings != 6 || st.SelectedSubstrings == 0 || st.Verifications == 0 {
+		t.Errorf("stats not filled: %+v", st)
+	}
+	if !strings.Contains(st.String(), "results=1") {
+		t.Errorf("String() = %q", st.String())
+	}
+}
+
+func TestStatsStringEdgeCases(t *testing.T) {
+	var nilStats *Stats
+	if nilStats.String() != "<nil stats>" {
+		t.Error("nil stats string")
+	}
+	st := &Stats{Results: 3}
+	if !strings.Contains(st.String(), "results=3") {
+		t.Errorf("detached stats: %q", st.String())
+	}
+}
+
+func TestParallelOptionMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	strs := testCorpus(rng, 250)
+	seq, err := SelfJoin(strs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SelfJoin(strs, 2, WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("parallel %d pairs vs sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}
+
+func TestMatcherFacade(t *testing.T) {
+	m, err := NewMatcher(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := m.Insert("hello"); len(ids) != 0 {
+		t.Fatalf("first insert: %v", ids)
+	}
+	if ids := m.Insert("helло"); len(ids) != 0 {
+		// Multi-byte rune: byte-level distance is > 1 from "hello".
+		t.Logf("byte-level semantics: %v", ids)
+	}
+	if ids := m.Insert("hallo"); len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("hallo: %v", ids)
+	}
+	if ids := m.Query("hell"); len(ids) == 0 {
+		t.Fatal("query found nothing")
+	}
+	if m.Len() != 3 || m.At(0) != "hello" {
+		t.Fatalf("Len/At: %d %q", m.Len(), m.At(0))
+	}
+}
+
+func TestEditDistanceHelpers(t *testing.T) {
+	if EditDistance("kitten", "sitting") != 3 {
+		t.Error("EditDistance")
+	}
+	if !Within("kitten", "sitting", 3) || Within("kitten", "sitting", 2) {
+		t.Error("Within")
+	}
+}
+
+func TestSelectionVerificationStrings(t *testing.T) {
+	if SelectionMultiMatch.String() != "Multi-Match" || SelectionLength.String() != "Length" {
+		t.Error("selection names")
+	}
+	if VerifySharePrefix.String() != "SharePrefix" || VerifyNaive.String() != "2tau+1" {
+		t.Error("verification names")
+	}
+}
+
+func testCorpus(rng *rand.Rand, n int) []string {
+	strs := make([]string, 0, n)
+	for len(strs) < n {
+		if len(strs) > 0 && rng.Float64() < 0.5 {
+			b := []byte(strs[rng.Intn(len(strs))])
+			for e := 0; e < 1+rng.Intn(3); e++ {
+				switch op := rng.Intn(3); {
+				case op == 0 && len(b) > 0:
+					b[rng.Intn(len(b))] = byte('a' + rng.Intn(4))
+				case op == 1 && len(b) > 0:
+					i := rng.Intn(len(b))
+					b = append(b[:i], b[i+1:]...)
+				default:
+					i := rng.Intn(len(b) + 1)
+					b = append(b[:i], append([]byte{byte('a' + rng.Intn(4))}, b[i:]...)...)
+				}
+			}
+			strs = append(strs, string(b))
+		} else {
+			k := rng.Intn(20)
+			b := make([]byte, k)
+			for i := range b {
+				b[i] = byte('a' + rng.Intn(4))
+			}
+			strs = append(strs, string(b))
+		}
+	}
+	return strs
+}

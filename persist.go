@@ -1,0 +1,111 @@
+package passjoin
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Searcher persistence: a compact binary snapshot of the indexed corpus
+// and threshold. Segment inverted indices are rebuilt on load — indexing
+// is a single O(total bytes) pass, far cheaper than a join, and
+// rebuilding keeps the format independent of internal index layout (the
+// snapshot stays readable across versions of this library).
+//
+// Format (all integers unsigned varints):
+//
+//	magic "PJIX" | version 1 | tau | count | count × (len | bytes)
+
+const (
+	persistMagic   = "PJIX"
+	persistVersion = 1
+)
+
+// WriteTo serializes the searcher's corpus and threshold. It implements
+// io.WriterTo.
+func (s *Searcher) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	var scratch [binary.MaxVarintLen64]byte
+	emit := func(p []byte) error {
+		n, err := bw.Write(p)
+		written += int64(n)
+		return err
+	}
+	emitUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		return emit(scratch[:n])
+	}
+	if err := emit([]byte(persistMagic)); err != nil {
+		return written, err
+	}
+	if err := emitUvarint(persistVersion); err != nil {
+		return written, err
+	}
+	if err := emitUvarint(uint64(s.tau)); err != nil {
+		return written, err
+	}
+	if err := emitUvarint(uint64(s.Len())); err != nil {
+		return written, err
+	}
+	for id := 0; id < s.Len(); id++ {
+		str := s.At(id)
+		if err := emitUvarint(uint64(len(str))); err != nil {
+			return written, err
+		}
+		if err := emit([]byte(str)); err != nil {
+			return written, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// ReadSearcherFrom deserializes a searcher written by WriteTo and rebuilds
+// its index. Options apply to the rebuilt searcher (the threshold comes
+// from the snapshot).
+func ReadSearcherFrom(r io.Reader, opts ...Option) (*Searcher, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("passjoin: reading snapshot header: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("passjoin: not a searcher snapshot (magic %q)", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("passjoin: reading snapshot version: %w", err)
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("passjoin: unsupported snapshot version %d", version)
+	}
+	tau64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("passjoin: reading threshold: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("passjoin: reading corpus size: %w", err)
+	}
+	const maxStringLen = 1 << 30
+	corpus := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("passjoin: reading string %d length: %w", i, err)
+		}
+		if n > maxStringLen {
+			return nil, fmt.Errorf("passjoin: string %d length %d exceeds limit", i, n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("passjoin: reading string %d: %w", i, err)
+		}
+		corpus = append(corpus, string(buf))
+	}
+	return NewSearcher(corpus, int(tau64), opts...)
+}

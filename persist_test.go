@@ -1,0 +1,96 @@
+package passjoin
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSearcherRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	corpus := testCorpus(rng, 200)
+	orig, err := NewSearcher(corpus, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	loaded, err := ReadSearcherFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() || loaded.Tau() != 2 {
+		t.Fatalf("loaded Len=%d Tau=%d", loaded.Len(), loaded.Tau())
+	}
+	queries := testCorpus(rand.New(rand.NewSource(102)), 30)
+	for _, q := range queries {
+		a := orig.Search(q)
+		b := loaded.Search(q)
+		if len(a) != len(b) {
+			t.Fatalf("query %q: %d hits vs %d after round trip", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %q hit %d: %+v vs %+v", q, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSearcherRoundTripEmpty(t *testing.T) {
+	orig, err := NewSearcher(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSearcherFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 || loaded.Tau() != 3 {
+		t.Fatalf("loaded: Len=%d Tau=%d", loaded.Len(), loaded.Tau())
+	}
+}
+
+func TestReadSearcherFromRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad magic":   "NOPE\x01\x02\x03",
+		"truncated":   "PJIX\x01\x02",
+		"bad version": "PJIX\x63\x02\x00",
+	}
+	for name, blob := range cases {
+		if _, err := ReadSearcherFrom(strings.NewReader(blob)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadSearcherFromTruncatedString(t *testing.T) {
+	orig, _ := NewSearcher([]string{"hello world"}, 1)
+	var buf bytes.Buffer
+	orig.WriteTo(&buf)
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadSearcherFrom(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}
+
+func TestReadSearcherFromHugeLengthRejected(t *testing.T) {
+	// magic, version=1, tau=1, count=1, strlen=2^40 (over the limit)
+	blob := []byte("PJIX\x01\x01\x01")
+	blob = append(blob, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20) // varint 2^40
+	if _, err := ReadSearcherFrom(bytes.NewReader(blob)); err == nil {
+		t.Error("oversized string length accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package passjoin
+
+import (
+	"passjoin/internal/core"
+)
+
+// Searcher answers approximate string search queries against a fixed
+// corpus: given a query q, it returns the corpus strings within the
+// configured threshold. This is the "approximate string searching" problem
+// of the paper's related work, answered with the same partition index —
+// the corpus is segment-indexed once, queries probe with multi-match-aware
+// substring selection.
+//
+// A Searcher is immutable after construction and safe for sequential use;
+// clone one per goroutine for concurrent querying (construction is cheap
+// relative to joining).
+type Searcher struct {
+	m   *core.Matcher
+	tau int
+}
+
+// Match is one search hit: the corpus index and the exact edit distance.
+type Match struct {
+	ID   int
+	Dist int
+}
+
+// NewSearcher indexes corpus for threshold-tau queries.
+func NewSearcher(corpus []string, tau int, opts ...Option) (*Searcher, error) {
+	cfg, err := buildConfig(tau, opts)
+	if err != nil {
+		return nil, err
+	}
+	inner := cfg.coreOptions(tau)
+	m, err := core.NewMatcher(tau, inner.Selection, inner.Verification, inner.Stats)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range corpus {
+		m.InsertSilent(s)
+	}
+	return &Searcher{m: m, tau: tau}, nil
+}
+
+// Tau returns the searcher's threshold.
+func (s *Searcher) Tau() int { return s.tau }
+
+// Clone returns a searcher that shares this one's immutable index but owns
+// its own query scratch state, so clones can Search concurrently from
+// different goroutines (one clone per goroutine).
+func (s *Searcher) Clone() *Searcher {
+	return &Searcher{m: s.m.Snapshot(), tau: s.tau}
+}
+
+// Search returns every corpus string within the threshold of q, sorted by
+// ascending distance (ties by corpus index).
+func (s *Searcher) Search(q string) []Match {
+	ids := s.m.Query(q)
+	out := make([]Match, len(ids))
+	for i, id := range ids {
+		out[i] = Match{ID: int(id), Dist: EditDistance(q, s.m.String(int(id)))}
+	}
+	// ids are ascending; stable re-sort by distance.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Dist < out[j-1].Dist; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Len returns the corpus size.
+func (s *Searcher) Len() int { return s.m.Len() }
+
+// At returns the id-th corpus string.
+func (s *Searcher) At(id int) string { return s.m.String(id) }

@@ -1,0 +1,50 @@
+package passjoin
+
+import (
+	"errors"
+
+	"passjoin/internal/core"
+)
+
+var errNilYield = errors.New("passjoin: nil yield callback")
+
+// SelfJoinEach streams self-join results to yield as they are found,
+// without materializing the result set — useful when the output is large
+// or when only the first few matches matter. Pairs arrive in scan order
+// (sorted by the longer string's length), not in (R, S) order. yield
+// returning false stops the join early.
+//
+// The streaming form runs sequentially; WithParallelism is ignored.
+func SelfJoinEach(strs []string, tau int, yield func(r, s int) bool, opts ...Option) error {
+	cfg, err := buildConfig(tau, opts)
+	if err != nil {
+		return err
+	}
+	if yield == nil {
+		return errNilYield
+	}
+	o := cfg.coreOptions(tau)
+	err = core.SelfJoinFunc(strs, o, func(p core.Pair) bool {
+		return yield(int(p.R), int(p.S))
+	})
+	cfg.stats.fill()
+	return err
+}
+
+// JoinEach streams R×S join results to yield as they are found. yield's r
+// indexes rset and s indexes sset; returning false stops the join early.
+func JoinEach(rset, sset []string, tau int, yield func(r, s int) bool, opts ...Option) error {
+	cfg, err := buildConfig(tau, opts)
+	if err != nil {
+		return err
+	}
+	if yield == nil {
+		return errNilYield
+	}
+	o := cfg.coreOptions(tau)
+	err = core.JoinFunc(rset, sset, o, func(p core.Pair) bool {
+		return yield(int(p.R), int(p.S))
+	})
+	cfg.stats.fill()
+	return err
+}

@@ -1,0 +1,115 @@
+package passjoin
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSelfJoinEachMatchesSelfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	strs := testCorpus(rng, 200)
+	want, err := SelfJoin(strs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Pair
+	err = SelfJoinEach(strs, 2, func(r, s int) bool {
+		got = append(got, Pair{R: r, S: s})
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(got, func(a, b int) bool {
+		if got[a].R != got[b].R {
+			return got[a].R < got[b].R
+		}
+		return got[a].S < got[b].S
+	})
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSelfJoinEachEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	strs := testCorpus(rng, 200)
+	seen := 0
+	err := SelfJoinEach(strs, 2, func(r, s int) bool {
+		seen++
+		return seen < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 3 {
+		t.Fatalf("early stop delivered %d pairs", seen)
+	}
+}
+
+func TestJoinEachMatchesJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	rset := testCorpus(rng, 80)
+	sset := testCorpus(rng, 90)
+	want, err := Join(rset, sset, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Pair
+	err = JoinEach(rset, sset, 2, func(r, s int) bool {
+		got = append(got, Pair{R: r, S: s})
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d pairs, want %d", len(got), len(want))
+	}
+}
+
+func TestJoinEachEarlyStop(t *testing.T) {
+	rset := []string{"abc", "abd", "abe"}
+	sset := []string{"abc", "abd", "abe"}
+	n := 0
+	err := JoinEach(rset, sset, 1, func(r, s int) bool {
+		n++
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("delivered %d pairs after stop", n)
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	if err := SelfJoinEach(nil, -1, func(int, int) bool { return true }); err == nil {
+		t.Error("negative tau accepted")
+	}
+	if err := SelfJoinEach(nil, 1, nil); err == nil {
+		t.Error("nil yield accepted")
+	}
+	if err := JoinEach(nil, nil, 1, nil); err == nil {
+		t.Error("nil yield accepted in JoinEach")
+	}
+}
+
+func TestStreamWithStats(t *testing.T) {
+	var st Stats
+	strs := []string{"abc", "abd", "xyz"}
+	err := SelfJoinEach(strs, 1, func(r, s int) bool { return true }, WithStats(&st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Results != 1 || st.Strings != 3 {
+		t.Errorf("stats: %+v", st)
+	}
+}

@@ -1,0 +1,82 @@
+package passjoin
+
+import (
+	"fmt"
+	"sort"
+
+	"passjoin/internal/core"
+)
+
+// PairDist is a join result annotated with its exact edit distance.
+type PairDist struct {
+	R, S int
+	Dist int
+}
+
+// TopK returns the k closest string pairs of strs by edit distance,
+// without a caller-supplied threshold. Ties at the cutoff distance are
+// broken by (R, S) order, so results are deterministic.
+//
+// This is the threshold-free variant discussed in the paper's related work
+// (top-k similarity joins, Xiao et al. [24]), implemented on top of
+// Pass-Join by progressively growing τ: the join runs at τ = 0, 1, 2, …
+// until at least k pairs are found, then one more level to collect every
+// pair that could still beat the current cutoff. Each run reuses the
+// partition index machinery, so small-distance results arrive after only
+// cheap rounds.
+func TopK(strs []string, k int, opts ...Option) ([]PairDist, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("passjoin: negative k %d", k)
+	}
+	cfg, err := buildConfig(0, opts)
+	if err != nil {
+		return nil, err
+	}
+	if k == 0 || len(strs) < 2 {
+		return nil, nil
+	}
+	maxLen := 0
+	for _, s := range strs {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	totalPairs := len(strs) * (len(strs) - 1) / 2
+	if k > totalPairs {
+		k = totalPairs
+	}
+	for tau := 0; ; tau++ {
+		o := cfg.coreOptions(tau)
+		pairs, err := core.SelfJoin(strs, o)
+		if err != nil {
+			return nil, err
+		}
+		// At threshold tau every pair with ed <= tau is present. If we have
+		// k of them, the k-th smallest distance is <= tau and no missing
+		// pair (all with ed > tau) can displace the chosen ones.
+		if len(pairs) >= k || tau >= maxLen {
+			out := make([]PairDist, len(pairs))
+			for i, p := range pairs {
+				out[i] = PairDist{
+					R:    int(p.R),
+					S:    int(p.S),
+					Dist: EditDistance(strs[p.R], strs[p.S]),
+				}
+			}
+			sort.Slice(out, func(a, b int) bool {
+				if out[a].Dist != out[b].Dist {
+					return out[a].Dist < out[b].Dist
+				}
+				if out[a].R != out[b].R {
+					return out[a].R < out[b].R
+				}
+				return out[a].S < out[b].S
+			})
+			if len(out) > k {
+				out = out[:k]
+			}
+			cfg.stats.fill()
+			return out, nil
+		}
+	}
+}
