@@ -295,6 +295,35 @@ func BenchmarkAblationParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedSearch measures concurrent query throughput against the
+// sharded searcher as the shard count grows (the serving-layer extension
+// beyond the paper). The result set is identical at every shard count;
+// what changes is the cost split: each shard repeats the substring
+// lookups into its own inverted lists (overhead that grows with N) while
+// the candidate scanning and verification work divides by N and runs in
+// parallel. On multi-core hardware throughput improves until shards
+// outnumber cores; on a single core the fan-out stays in-line and the
+// curve shows the pure lookup-duplication overhead instead.
+func BenchmarkShardedSearch(b *testing.B) {
+	cs := corpora(b)
+	strs := cs["author"]
+	for _, shards := range []int{1, 2, 4, 8} {
+		ss, err := passjoin.NewShardedSearcher(strs, 2, passjoin.WithShards(shards))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					ss.Search(strs[i%len(strs)])
+					i++
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkMicroVerify isolates the verifier kernels of §5.1.
 func BenchmarkMicroVerify(b *testing.B) {
 	r := "kaushuk chadhui kaushuk chadhui kaushuk"

@@ -1,0 +1,163 @@
+// Command passjoind serves a sharded Pass-Join similarity index over
+// HTTP/JSON — the online counterpart of the batch passjoin command.
+//
+//	passjoind -tau 2 -shards 8 -addr :7878 corpus.txt
+//	passjoind -tau 2 -save idx.pjix corpus.txt      build + snapshot, then serve
+//	passjoind -snapshot idx.pjix                    cold-start from a snapshot
+//
+// The corpus file contains one string per line. Endpoints (see
+// internal/server for the full contract):
+//
+//	GET  /healthz
+//	GET  /v1/search?q=...&k=...
+//	POST /v1/search   {"query": "...", "k": 5}
+//	POST /v1/batch    {"queries": ["...", ...], "k": 0}
+//	GET  /v1/topk?q=...&k=...
+//	POST /v1/dedup    (text lines in, NDJSON pairs out)
+//	GET  /v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"passjoin"
+	"passjoin/internal/dataset"
+	"passjoin/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7878", "listen address")
+	tau := flag.Int("tau", 2, "edit-distance threshold (ignored with -snapshot)")
+	shards := flag.Int("shards", 0, "index shard count (0 = GOMAXPROCS)")
+	sel := flag.String("selection", "multimatch", "substring selection: multimatch, position, shift, length")
+	ver := flag.String("verify", "shareprefix", "verification: shareprefix, extension, lengthaware, naive, bitparallel")
+	snapshot := flag.String("snapshot", "", "load the index from this snapshot instead of a corpus file")
+	save := flag.String("save", "", "write a snapshot of the built index to this path")
+	maxBatch := flag.Int("max-batch", 0, "max queries per batch request (0 = default)")
+	topK := flag.Int("topk", 0, "default k for /v1/topk (0 = default)")
+	flag.Parse()
+
+	if (*snapshot == "") == (flag.NArg() != 1) {
+		fmt.Fprintln(os.Stderr, "usage: passjoind [flags] corpus.txt  (or passjoind -snapshot idx.pjix)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var st passjoin.Stats
+	start := time.Now()
+	idx, err := buildIndex(flag.Arg(0), *snapshot, *tau, *shards, *sel, *ver, &st)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "passjoind: indexed %d strings (tau=%d, %d shards) in %v\n",
+		idx.Len(), idx.Tau(), idx.NumShards(), time.Since(start).Round(time.Millisecond))
+
+	if *save != "" {
+		if err := writeSnapshot(idx, *save); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "passjoind: snapshot written to %s\n", *save)
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New(idx, &st, server.Config{MaxBatch: *maxBatch, DefaultTopK: *topK}),
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "passjoind: serving on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "passjoind: shut down")
+	}
+}
+
+// buildIndex loads the index from a snapshot when snapshotPath is set,
+// otherwise builds it from the corpus file.
+func buildIndex(corpusPath, snapshotPath string, tau, shards int, sel, ver string, st *passjoin.Stats) (*passjoin.ShardedSearcher, error) {
+	opts, err := indexOptions(shards, sel, ver, st)
+	if err != nil {
+		return nil, err
+	}
+	if snapshotPath != "" {
+		f, err := os.Open(snapshotPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return passjoin.ReadShardedSearcherFrom(f, opts...)
+	}
+	corpus, err := dataset.LoadFile(corpusPath)
+	if err != nil {
+		return nil, err
+	}
+	return passjoin.NewShardedSearcher(corpus, tau, opts...)
+}
+
+func indexOptions(shards int, sel, ver string, st *passjoin.Stats) ([]passjoin.Option, error) {
+	selections := map[string]passjoin.SelectionMethod{
+		"multimatch": passjoin.SelectionMultiMatch,
+		"position":   passjoin.SelectionPosition,
+		"shift":      passjoin.SelectionShift,
+		"length":     passjoin.SelectionLength,
+	}
+	verifications := map[string]passjoin.VerificationMethod{
+		"shareprefix": passjoin.VerifySharePrefix,
+		"extension":   passjoin.VerifyExtension,
+		"lengthaware": passjoin.VerifyLengthAware,
+		"naive":       passjoin.VerifyNaive,
+		"bitparallel": passjoin.VerifyBitParallel,
+	}
+	m, ok := selections[sel]
+	if !ok {
+		return nil, fmt.Errorf("unknown selection method %q", sel)
+	}
+	v, ok := verifications[ver]
+	if !ok {
+		return nil, fmt.Errorf("unknown verification method %q", ver)
+	}
+	opts := []passjoin.Option{
+		passjoin.WithShards(shards),
+		passjoin.WithSelection(m),
+		passjoin.WithVerification(v),
+	}
+	if st != nil {
+		opts = append(opts, passjoin.WithStats(st))
+	}
+	return opts, nil
+}
+
+func writeSnapshot(idx *passjoin.ShardedSearcher, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := idx.WriteTo(f); err != nil {
+		f.Close()
+		return errors.Join(err, os.Remove(path))
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "passjoind:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"passjoin"
+)
+
+var corpus = []string{"vldb", "pvldb", "sigmod", "sigmmod", "icde", "vldbj"}
+
+func writeCorpusFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "corpus.txt")
+	data := ""
+	for _, s := range corpus {
+		data += s + "\n"
+	}
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuildIndexFromCorpus(t *testing.T) {
+	var st passjoin.Stats
+	idx, err := buildIndex(writeCorpusFile(t), "", 1, 2, "multimatch", "shareprefix", &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != len(corpus) || idx.Tau() != 1 || idx.NumShards() != 2 {
+		t.Fatalf("len=%d tau=%d shards=%d", idx.Len(), idx.Tau(), idx.NumShards())
+	}
+	if st.Strings != int64(len(corpus)) {
+		t.Fatalf("stats not wired: %+v", st)
+	}
+	got := idx.Search("vldb")
+	if len(got) != 3 || idx.At(got[0].ID) != "vldb" || got[0].Dist != 0 ||
+		idx.At(got[1].ID) != "pvldb" || idx.At(got[2].ID) != "vldbj" {
+		t.Fatalf("search: %v", got)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	idx, err := buildIndex(writeCorpusFile(t), "", 1, 2, "multimatch", "shareprefix", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "idx.pjix")
+	if err := writeSnapshot(idx, snap); err != nil {
+		t.Fatal(err)
+	}
+	re, err := buildIndex("", snap, 99 /* ignored */, 3, "multimatch", "shareprefix", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Tau() != 1 || re.Len() != len(corpus) || re.NumShards() != 3 {
+		t.Fatalf("reloaded: tau=%d len=%d shards=%d", re.Tau(), re.Len(), re.NumShards())
+	}
+}
+
+func TestBuildIndexBadFlags(t *testing.T) {
+	path := writeCorpusFile(t)
+	if _, err := buildIndex(path, "", 1, 1, "nope", "shareprefix", nil); err == nil {
+		t.Error("unknown selection accepted")
+	}
+	if _, err := buildIndex(path, "", 1, 1, "multimatch", "nope", nil); err == nil {
+		t.Error("unknown verification accepted")
+	}
+	if _, err := buildIndex("/nonexistent/corpus.txt", "", 1, 1, "multimatch", "shareprefix", nil); err == nil {
+		t.Error("missing corpus accepted")
+	}
+	if _, err := buildIndex("", "/nonexistent/idx.pjix", 1, 1, "multimatch", "shareprefix", nil); err == nil {
+		t.Error("missing snapshot accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package passjoin_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"passjoin"
+)
+
+// ExampleNewShardedSearcher shows the concurrent-safe serving index: the
+// corpus is hash-partitioned across shards and queries fan out to all of
+// them, so any number of goroutines may Search the same value.
+func ExampleNewShardedSearcher() {
+	corpus := []string{"vldb", "pvldb", "sigmod", "sigmmod", "icde", "vldbj"}
+	s, err := passjoin.NewShardedSearcher(corpus, 1, passjoin.WithShards(2))
+	if err != nil {
+		panic(err)
+	}
+	done := make(chan struct{})
+	go func() { // no Clone needed, unlike Searcher
+		s.Search("sigmod")
+		close(done)
+	}()
+	for _, m := range s.Search("vldb") {
+		fmt.Printf("%s (dist %d)\n", s.At(m.ID), m.Dist)
+	}
+	<-done
+	// Output:
+	// vldb (dist 0)
+	// pvldb (dist 1)
+	// vldbj (dist 1)
+}
+
+// ExampleShardedSearcher_SearchTopK shows top-k search: the k nearest
+// corpus strings among those within the indexed threshold.
+func ExampleShardedSearcher_SearchTopK() {
+	corpus := []string{"icde", "vldb", "pvldb", "vldbj", "icdt"}
+	s, err := passjoin.NewShardedSearcher(corpus, 2, passjoin.WithShards(2))
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range s.SearchTopK("vldb", 2) {
+		fmt.Printf("%s (dist %d)\n", s.At(m.ID), m.Dist)
+	}
+	// Output:
+	// vldb (dist 0)
+	// pvldb (dist 1)
+}
+
+// ExampleSearcher_SearchTopK shows the same top-k search on the
+// single-index Searcher.
+func ExampleSearcher_SearchTopK() {
+	corpus := []string{"icde", "vldb", "pvldb", "vldbj", "icdt"}
+	s, err := passjoin.NewSearcher(corpus, 2)
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range s.SearchTopK("icde", 2) {
+		fmt.Printf("%s (dist %d)\n", s.At(m.ID), m.Dist)
+	}
+	// Output:
+	// icde (dist 0)
+	// icdt (dist 1)
+}
+
+// ExampleShardedSearcher_WriteTo snapshots a sharded index and reloads it
+// with a different shard count — the snapshot stores only the corpus, so
+// shard topology is a load-time choice.
+func ExampleShardedSearcher_WriteTo() {
+	corpus := []string{"vldb", "pvldb", "sigmod"}
+	s, err := passjoin.NewShardedSearcher(corpus, 1, passjoin.WithShards(3))
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	re, err := passjoin.ReadShardedSearcherFrom(&buf, passjoin.WithShards(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(re.Len(), re.Tau(), re.NumShards())
+	// Output:
+	// 3 1 1
+}

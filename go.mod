@@ -1,0 +1,3 @@
+module passjoin
+
+go 1.24

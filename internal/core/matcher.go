@@ -125,6 +125,10 @@ func (m *Matcher) InsertSilent(s string) {
 	m.p.ref = m.strs
 	if m.st != nil {
 		m.st.Strings++
+		if b := m.idx.Bytes(); b > m.st.IndexBytes {
+			m.st.IndexBytes = b
+			m.st.IndexEntries = m.idx.Entries()
+		}
 	}
 }
 

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"passjoin"
+	"passjoin/internal/dataset"
+)
+
+// BenchmarkShardScaling measures concurrent query throughput through the
+// full HTTP handler as the shard count grows — the serving-layer
+// counterpart of the root package's BenchmarkShardedSearch. Run with
+// -cpu to vary client parallelism:
+//
+//	go test -bench ShardScaling -cpu 1,4,8 ./internal/server
+func BenchmarkShardScaling(b *testing.B) {
+	corpus, err := dataset.ByName("author", 4000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tau := 2
+	for _, shards := range []int{1, 2, 4, 8} {
+		idx, err := passjoin.NewShardedSearcher(corpus, tau, passjoin.WithShards(shards))
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := New(idx, nil, Config{})
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					q := corpus[i%len(corpus)]
+					i++
+					req := httptest.NewRequest("GET", "/v1/search?q="+strings.ReplaceAll(q, " ", "%20"), nil)
+					rec := httptest.NewRecorder()
+					srv.ServeHTTP(rec, req)
+					if rec.Code != 200 {
+						b.Fatalf("status %d", rec.Code)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkBatchEndpoint measures the batch path, where the server adds
+// query-level concurrency on top of shard fan-out.
+func BenchmarkBatchEndpoint(b *testing.B) {
+	corpus, err := dataset.ByName("author", 2000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := passjoin.NewShardedSearcher(corpus, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := New(idx, nil, Config{})
+	body, err := json.Marshal(BatchRequest{Queries: corpus[:128]})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/batch", strings.NewReader(string(body)))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}

@@ -1,0 +1,405 @@
+// Package server implements the passjoind HTTP serving layer: a
+// concurrent similarity-search service over a sharded Pass-Join index.
+//
+// The server owns a passjoin.ShardedSearcher — the corpus hash-partitioned
+// across N segment indices — and exposes it over HTTP/JSON:
+//
+//	GET  /healthz            liveness + index shape
+//	GET  /v1/search?q=...    single lookup (all matches within tau)
+//	POST /v1/search          same, JSON body {"query": "...", "k": 5}
+//	POST /v1/batch           batch lookup {"queries": [...], "k": 0}
+//	GET  /v1/topk?q=...&k=5  k nearest within tau
+//	POST /v1/dedup           streaming self-dedup: text lines in,
+//	                         NDJSON near-duplicate pairs out
+//	GET  /v1/stats           server counters + aggregated index stats
+//
+// Every lookup fans out to all shards in parallel (inside
+// ShardedSearcher); batch requests additionally run their queries
+// concurrently. All handlers are safe under arbitrary client concurrency
+// — the index is immutable and per-query scratch state is pooled.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"passjoin"
+)
+
+// Config bounds request handling; zero values select the defaults.
+type Config struct {
+	// MaxBatch caps the number of queries in one /v1/batch request
+	// (default 1024).
+	MaxBatch int
+	// MaxBodyBytes caps request body sizes (default 8 MiB).
+	MaxBodyBytes int64
+	// DefaultTopK is the k used by /v1/topk when the request omits it
+	// (default 10).
+	DefaultTopK int
+}
+
+const (
+	defaultMaxBatch     = 1024
+	defaultMaxBodyBytes = 8 << 20
+	defaultTopK         = 10
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = defaultMaxBatch
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if c.DefaultTopK <= 0 {
+		c.DefaultTopK = defaultTopK
+	}
+	return c
+}
+
+// Server serves similarity queries against an immutable sharded index.
+// It implements http.Handler.
+type Server struct {
+	idx   *passjoin.ShardedSearcher
+	stats passjoin.Stats
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+
+	queries atomic.Int64 // lookups answered across search/batch/topk
+	matches atomic.Int64 // matches returned across those lookups
+	dedups  atomic.Int64 // dedup streams completed
+}
+
+// New builds a server around idx. indexStats, if non-nil, is the
+// aggregated build-time instrumentation to surface on /v1/stats (pass the
+// sink given to NewShardedSearcher via WithStats).
+func New(idx *passjoin.ShardedSearcher, indexStats *passjoin.Stats, cfg Config) *Server {
+	s := &Server{
+		idx:   idx,
+		cfg:   cfg.withDefaults(),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	if indexStats != nil {
+		s.stats = *indexStats
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("POST /v1/dedup", s.handleDedup)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Match is one hit in a JSON response.
+type Match struct {
+	ID     int    `json:"id"`
+	String string `json:"string"`
+	Dist   int    `json:"dist"`
+}
+
+// SearchResponse is the reply to /v1/search and /v1/topk.
+type SearchResponse struct {
+	Query   string  `json:"query"`
+	Matches []Match `json:"matches"`
+}
+
+// BatchRequest is the body of /v1/batch. K > 0 truncates each result to
+// the k nearest, 0 returns all matches within the threshold.
+type BatchRequest struct {
+	Queries []string `json:"queries"`
+	K       int      `json:"k,omitempty"`
+}
+
+// BatchResponse is the reply to /v1/batch; Results[i] answers Queries[i].
+type BatchResponse struct {
+	Results [][]Match `json:"results"`
+}
+
+// DedupPair is one NDJSON event on the /v1/dedup stream: input lines R
+// and S (0-based) are within the threshold.
+type DedupPair struct {
+	R     int    `json:"r"`
+	S     int    `json:"s"`
+	Left  string `json:"left"`
+	Right string `json:"right"`
+	Dist  int    `json:"dist"`
+}
+
+// StatsResponse is the reply to /v1/stats.
+type StatsResponse struct {
+	Strings       int            `json:"strings"`
+	Tau           int            `json:"tau"`
+	Shards        int            `json:"shards"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Queries       int64          `json:"queries"`
+	Matches       int64          `json:"matches"`
+	DedupStreams  int64          `json:"dedup_streams"`
+	Index         passjoin.Stats `json:"index"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"strings": s.idx.Len(),
+		"tau":     s.idx.Tau(),
+		"shards":  s.idx.NumShards(),
+	})
+}
+
+// searchRequest is the POST body form of /v1/search.
+type searchRequest struct {
+	Query string `json:"query"`
+	K     int    `json:"k,omitempty"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var q string
+	var k int
+	switch r.Method {
+	case http.MethodGet:
+		q = r.URL.Query().Get("q")
+		if q == "" {
+			writeError(w, http.StatusBadRequest, "missing query parameter q")
+			return
+		}
+		var ok bool
+		if k, ok = intParam(w, r, "k", 0); !ok {
+			return
+		}
+	default: // POST, enforced by the mux pattern
+		var req searchRequest
+		if !s.decodeJSON(w, r, &req) {
+			return
+		}
+		if req.Query == "" {
+			writeError(w, http.StatusBadRequest, "missing query field")
+			return
+		}
+		q, k = req.Query, req.K
+	}
+	if k < 0 {
+		writeError(w, http.StatusBadRequest, "k must be non-negative")
+		return
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{Query: q, Matches: s.lookup(q, k)})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	k, ok := intParam(w, r, "k", s.cfg.DefaultTopK)
+	if !ok {
+		return
+	}
+	if k <= 0 {
+		writeError(w, http.StatusBadRequest, "k must be positive")
+		return
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{Query: q, Matches: s.lookup(q, k)})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
+	if req.K < 0 {
+		writeError(w, http.StatusBadRequest, "k must be non-negative")
+		return
+	}
+	results := make([][]Match, len(req.Queries))
+	// Each lookup already fans out to NumShards goroutines, so scale the
+	// batch-level workers down to keep workers × shards near the core
+	// count instead of oversubscribing the scheduler.
+	workers := runtime.GOMAXPROCS(0) / s.idx.NumShards()
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(req.Queries) {
+		workers = len(req.Queries)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(req.Queries) {
+					return
+				}
+				results[i] = s.lookup(req.Queries[i], req.K)
+			}
+		}()
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// handleDedup streams near-duplicate pairs for the uploaded lines as they
+// are discovered: each input line is inserted into an online Matcher and
+// every previously seen line within the threshold is emitted immediately
+// as one NDJSON object. An optional ?tau= overrides the index threshold.
+func (s *Server) handleDedup(w http.ResponseWriter, r *http.Request) {
+	tau, ok := intParam(w, r, "tau", s.idx.Tau())
+	if !ok {
+		return
+	}
+	if tau < 0 {
+		writeError(w, http.StatusBadRequest, "tau must be non-negative")
+		return
+	}
+	m, err := passjoin.NewMatcher(tau)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	line := 0
+	wrote := false
+	for sc.Scan() {
+		str := sc.Text()
+		for _, dup := range m.Insert(str) {
+			pair := DedupPair{
+				R:     dup,
+				S:     line,
+				Left:  m.At(dup),
+				Right: str,
+				Dist:  passjoin.EditDistance(m.At(dup), str),
+			}
+			if !wrote {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				wrote = true
+			}
+			if err := enc.Encode(pair); err != nil {
+				return // client went away; stop reading
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		line++
+	}
+	if err := sc.Err(); err != nil {
+		// Before the first pair the status code is still ours to set;
+		// after it, a terminal NDJSON error record is the best signal left.
+		if !wrote {
+			status := http.StatusBadRequest
+			var maxErr *http.MaxBytesError
+			if errors.As(err, &maxErr) || errors.Is(err, bufio.ErrTooLong) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, status, "reading body: "+err.Error())
+		} else {
+			_ = enc.Encode(errorResponse{Error: "stream truncated: " + err.Error()})
+		}
+		return
+	}
+	if !wrote {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	s.dedups.Add(1)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Strings:       s.idx.Len(),
+		Tau:           s.idx.Tau(),
+		Shards:        s.idx.NumShards(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Queries:       s.queries.Load(),
+		Matches:       s.matches.Load(),
+		DedupStreams:  s.dedups.Load(),
+		Index:         s.stats,
+	})
+}
+
+// lookup answers one query against the sharded index: all matches within
+// the threshold, truncated to the k nearest when k > 0.
+func (s *Server) lookup(q string, k int) []Match {
+	var hits []passjoin.Match
+	if k > 0 {
+		hits = s.idx.SearchTopK(q, k)
+	} else {
+		hits = s.idx.Search(q)
+	}
+	out := make([]Match, len(hits))
+	for i, h := range hits {
+		out[i] = Match{ID: h.ID, String: s.idx.At(h.ID), Dist: h.Dist}
+	}
+	s.queries.Add(1)
+	s.matches.Add(int64(len(out)))
+	return out
+}
+
+// decodeJSON parses a size-capped JSON body into v, writing the error
+// response itself when parsing fails.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		status := http.StatusBadRequest
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "invalid request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func intParam(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid %s: %q", name, raw))
+		return 0, false
+	}
+	return v, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -1,0 +1,348 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"passjoin"
+	"passjoin/internal/dataset"
+)
+
+func testCorpus(t testing.TB, n int) []string {
+	t.Helper()
+	strs, err := dataset.ByName("author", n, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strs
+}
+
+func newTestServer(t testing.TB, corpus []string, tau, shards int, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	var st passjoin.Stats
+	idx, err := passjoin.NewShardedSearcher(corpus, tau,
+		passjoin.WithShards(shards), passjoin.WithStats(&st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(idx, &st, cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body, v any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decoding %s response: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestHealth(t *testing.T) {
+	corpus := testCorpus(t, 100)
+	_, ts := newTestServer(t, corpus, 2, 4, Config{})
+	var h map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if h["status"] != "ok" || h["strings"] != float64(len(corpus)) || h["shards"] != float64(4) {
+		t.Fatalf("health %v", h)
+	}
+}
+
+// TestSearch checks GET and POST forms against the library answer.
+func TestSearch(t *testing.T) {
+	corpus := testCorpus(t, 300)
+	tau := 2
+	_, ts := newTestServer(t, corpus, tau, 4, Config{})
+	ref, err := passjoin.NewSearcher(corpus, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range corpus[:25] {
+		want := ref.Search(q)
+		var got SearchResponse
+		if code := getJSON(t, ts.URL+"/v1/search?q="+urlQueryEscape(q), &got); code != http.StatusOK {
+			t.Fatalf("q=%q status %d", q, code)
+		}
+		checkMatches(t, q, got.Matches, want, corpus)
+
+		var posted SearchResponse
+		if code := postJSON(t, ts.URL+"/v1/search", searchRequest{Query: q}, &posted); code != http.StatusOK {
+			t.Fatalf("POST q=%q status %d", q, code)
+		}
+		if !reflect.DeepEqual(posted, got) {
+			t.Fatalf("q=%q: POST %v GET %v", q, posted, got)
+		}
+	}
+}
+
+func checkMatches(t *testing.T, q string, got []Match, want []passjoin.Match, corpus []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("q=%q: %d matches, want %d", q, len(got), len(want))
+	}
+	for i := range got {
+		w := Match{ID: want[i].ID, String: corpus[want[i].ID], Dist: want[i].Dist}
+		if got[i] != w {
+			t.Fatalf("q=%q match %d: got %+v want %+v", q, i, got[i], w)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	corpus := testCorpus(t, 300)
+	tau := 3
+	_, ts := newTestServer(t, corpus, tau, 4, Config{DefaultTopK: 2})
+	ref, err := passjoin.NewSearcher(corpus, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := corpus[0]
+	var got SearchResponse
+	if code := getJSON(t, ts.URL+"/v1/topk?q="+urlQueryEscape(q)+"&k=3", &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	checkMatches(t, q, got.Matches, ref.SearchTopK(q, 3), corpus)
+
+	// Default k comes from config.
+	if code := getJSON(t, ts.URL+"/v1/topk?q="+urlQueryEscape(q), &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	checkMatches(t, q, got.Matches, ref.SearchTopK(q, 2), corpus)
+}
+
+func TestBatch(t *testing.T) {
+	corpus := testCorpus(t, 300)
+	tau := 2
+	_, ts := newTestServer(t, corpus, tau, 4, Config{})
+	ref, err := passjoin.NewSearcher(corpus, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := corpus[:64]
+	var got BatchResponse
+	if code := postJSON(t, ts.URL+"/v1/batch", BatchRequest{Queries: queries}, &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(got.Results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(got.Results), len(queries))
+	}
+	for i, q := range queries {
+		checkMatches(t, q, got.Results[i], ref.Search(q), corpus)
+	}
+
+	// Over-limit batches are rejected.
+	_, ts2 := newTestServer(t, corpus[:20], tau, 2, Config{MaxBatch: 4})
+	var e errorResponse
+	if code := postJSON(t, ts2.URL+"/v1/batch", BatchRequest{Queries: corpus[:5]}, &e); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: status %d body %+v", code, e)
+	}
+}
+
+// TestDedupStream posts lines and checks the streamed pairs equal the
+// batch self-join answer.
+func TestDedupStream(t *testing.T) {
+	corpus := testCorpus(t, 200)
+	tau := 2
+	_, ts := newTestServer(t, corpus[:50], tau, 2, Config{})
+
+	body := strings.Join(corpus, "\n")
+	resp, err := http.Post(ts.URL+"/v1/dedup", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got []passjoin.Pair
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var p DedupPair
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if p.Left != corpus[p.R] || p.Right != corpus[p.S] {
+			t.Fatalf("pair %+v does not match input lines", p)
+		}
+		if p.Dist > tau {
+			t.Fatalf("pair %+v beyond threshold", p)
+		}
+		got = append(got, passjoin.Pair{R: p.R, S: p.S})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := passjoin.SelfJoin(corpus, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortPairs(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("dedup stream: %d pairs, self join: %d", len(got), len(want))
+	}
+}
+
+// TestDedupOverlongLine checks that a body the line scanner cannot hold
+// fails loudly (413) instead of returning 200 with silently truncated
+// results.
+func TestDedupOverlongLine(t *testing.T) {
+	corpus := testCorpus(t, 20)
+	_, ts := newTestServer(t, corpus, 2, 2, Config{})
+	resp, err := http.Post(ts.URL+"/v1/dedup", "text/plain",
+		strings.NewReader(strings.Repeat("x", 2<<20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+}
+
+func sortPairs(ps []passjoin.Pair) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && (ps[j].R < ps[j-1].R || (ps[j].R == ps[j-1].R && ps[j].S < ps[j-1].S)); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// TestConcurrentClients hammers every lookup endpoint from parallel
+// goroutines; run under -race this exercises the pooled shard snapshots
+// and atomic counters.
+func TestConcurrentClients(t *testing.T) {
+	corpus := testCorpus(t, 400)
+	tau := 2
+	srv, ts := newTestServer(t, corpus, tau, 4, Config{})
+	ref, err := passjoin.NewSearcher(corpus, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	report := func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ref := ref.Clone() // plain Searcher is clone-per-goroutine
+			for i := 0; i < 40; i++ {
+				q := corpus[(g*53+i*17)%len(corpus)]
+				var got SearchResponse
+				resp, err := http.Get(ts.URL + "/v1/search?q=" + urlQueryEscape(q))
+				if err != nil {
+					report(err)
+					return
+				}
+				err = json.NewDecoder(resp.Body).Decode(&got)
+				resp.Body.Close()
+				if err != nil {
+					report(err)
+					return
+				}
+				want := ref.Search(q)
+				if len(got.Matches) != len(want) {
+					report(fmt.Errorf("q=%q: %d matches want %d", q, len(got.Matches), len(want)))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Queries != 8*40 {
+		t.Fatalf("queries=%d want %d", st.Queries, 8*40)
+	}
+	if st.Shards != 4 || st.Strings != len(corpus) || st.Index.Strings != int64(len(corpus)) {
+		t.Fatalf("stats %+v", st)
+	}
+	_ = srv
+}
+
+func TestBadRequests(t *testing.T) {
+	corpus := testCorpus(t, 50)
+	_, ts := newTestServer(t, corpus, 2, 2, Config{})
+	cases := []struct {
+		method, path string
+		body         string
+		want         int
+	}{
+		{"GET", "/v1/search", "", http.StatusBadRequest},                    // missing q
+		{"GET", "/v1/search?q=x&k=zap", "", http.StatusBadRequest},          // bad k
+		{"GET", "/v1/search?q=x&k=-1", "", http.StatusBadRequest},           // negative k
+		{"GET", "/v1/topk?q=x&k=0", "", http.StatusBadRequest},              // non-positive k
+		{"POST", "/v1/search", `{}`, http.StatusBadRequest},                 // empty query
+		{"POST", "/v1/search", `{"query":""}`, http.StatusBadRequest},       // empty query
+		{"POST", "/v1/batch", "{", http.StatusBadRequest},                   // truncated JSON
+		{"POST", "/v1/batch", `{"bogus":1}`, http.StatusBadRequest},         // unknown field
+		{"GET", "/v1/dedup", "", http.StatusMethodNotAllowed},               // wrong method
+		{"POST", "/v1/dedup?tau=-2", "", http.StatusBadRequest},             // bad tau
+		{"DELETE", "/v1/search?q=x", "", http.StatusMethodNotAllowed},       // wrong method
+		{"GET", "/v1/nonesuch", "", http.StatusNotFound},                    // unknown route
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: status %d want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+// urlQueryEscape is a minimal query escaper for test corpora (spaces only;
+// dataset strings are otherwise URL-safe).
+func urlQueryEscape(s string) string {
+	return strings.ReplaceAll(s, " ", "%20")
+}

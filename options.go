@@ -95,6 +95,7 @@ type config struct {
 	ver      VerificationMethod
 	stats    *Stats
 	parallel int
+	shards   int
 }
 
 // Option customizes a join or matcher.
@@ -143,6 +144,16 @@ func WithParallelism(n int) Option {
 			return fmt.Errorf("passjoin: negative parallelism %d", n)
 		}
 		c.parallel = n
+		return nil
+	}
+}
+
+// WithShards sets the number of index partitions for NewShardedSearcher
+// (ignored by the other entry points, like WithParallelism outside self
+// joins). n <= 0 selects GOMAXPROCS shards.
+func WithShards(n int) Option {
+	return func(c *config) error {
+		c.shards = n
 		return nil
 	}
 }

@@ -11,7 +11,9 @@ import (
 // and threshold. Segment inverted indices are rebuilt on load — indexing
 // is a single O(total bytes) pass, far cheaper than a join, and
 // rebuilding keeps the format independent of internal index layout (the
-// snapshot stays readable across versions of this library).
+// snapshot stays readable across versions of this library). Because the
+// format stores only the corpus, the same snapshot loads into a plain
+// Searcher or a ShardedSearcher with any shard count.
 //
 // Format (all integers unsigned varints):
 //
@@ -22,9 +24,9 @@ const (
 	persistVersion = 1
 )
 
-// WriteTo serializes the searcher's corpus and threshold. It implements
-// io.WriterTo.
-func (s *Searcher) WriteTo(w io.Writer) (int64, error) {
+// writeSnapshot emits the PJIX snapshot for a corpus exposed as (count,
+// at); both Searcher and ShardedSearcher serialize through it.
+func writeSnapshot(w io.Writer, tau, count int, at func(int) string) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var written int64
 	var scratch [binary.MaxVarintLen64]byte
@@ -43,14 +45,14 @@ func (s *Searcher) WriteTo(w io.Writer) (int64, error) {
 	if err := emitUvarint(persistVersion); err != nil {
 		return written, err
 	}
-	if err := emitUvarint(uint64(s.tau)); err != nil {
+	if err := emitUvarint(uint64(tau)); err != nil {
 		return written, err
 	}
-	if err := emitUvarint(uint64(s.Len())); err != nil {
+	if err := emitUvarint(uint64(count)); err != nil {
 		return written, err
 	}
-	for id := 0; id < s.Len(); id++ {
-		str := s.At(id)
+	for id := 0; id < count; id++ {
+		str := at(id)
 		if err := emitUvarint(uint64(len(str))); err != nil {
 			return written, err
 		}
@@ -64,48 +66,89 @@ func (s *Searcher) WriteTo(w io.Writer) (int64, error) {
 	return written, nil
 }
 
+// readSnapshot parses a PJIX snapshot back into (corpus, tau).
+func readSnapshot(r io.Reader) ([]string, int, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, 0, fmt.Errorf("passjoin: reading snapshot header: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, 0, fmt.Errorf("passjoin: not a searcher snapshot (magic %q)", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("passjoin: reading snapshot version: %w", err)
+	}
+	if version != persistVersion {
+		return nil, 0, fmt.Errorf("passjoin: unsupported snapshot version %d", version)
+	}
+	tau64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("passjoin: reading threshold: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("passjoin: reading corpus size: %w", err)
+	}
+	const maxStringLen = 1 << 30
+	// count is attacker-controlled until proven by actual data; cap the
+	// preallocation so a corrupt header cannot panic or OOM the process.
+	prealloc := count
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	corpus := make([]string, 0, prealloc)
+	for i := uint64(0); i < count; i++ {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("passjoin: reading string %d length: %w", i, err)
+		}
+		if n > maxStringLen {
+			return nil, 0, fmt.Errorf("passjoin: string %d length %d exceeds limit", i, n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, 0, fmt.Errorf("passjoin: reading string %d: %w", i, err)
+		}
+		corpus = append(corpus, string(buf))
+	}
+	return corpus, int(tau64), nil
+}
+
+// WriteTo serializes the searcher's corpus and threshold. It implements
+// io.WriterTo.
+func (s *Searcher) WriteTo(w io.Writer) (int64, error) {
+	return writeSnapshot(w, s.tau, s.Len(), s.At)
+}
+
 // ReadSearcherFrom deserializes a searcher written by WriteTo and rebuilds
 // its index. Options apply to the rebuilt searcher (the threshold comes
 // from the snapshot).
 func ReadSearcherFrom(r io.Reader, opts ...Option) (*Searcher, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(persistMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("passjoin: reading snapshot header: %w", err)
-	}
-	if string(magic) != persistMagic {
-		return nil, fmt.Errorf("passjoin: not a searcher snapshot (magic %q)", magic)
-	}
-	version, err := binary.ReadUvarint(br)
+	corpus, tau, err := readSnapshot(r)
 	if err != nil {
-		return nil, fmt.Errorf("passjoin: reading snapshot version: %w", err)
+		return nil, err
 	}
-	if version != persistVersion {
-		return nil, fmt.Errorf("passjoin: unsupported snapshot version %d", version)
-	}
-	tau64, err := binary.ReadUvarint(br)
+	return NewSearcher(corpus, tau, opts...)
+}
+
+// WriteTo serializes the sharded searcher's corpus and threshold in
+// original corpus order, so the snapshot is byte-identical to the
+// equivalent Searcher's and loads with any shard count. It implements
+// io.WriterTo.
+func (ss *ShardedSearcher) WriteTo(w io.Writer) (int64, error) {
+	return writeSnapshot(w, ss.tau, ss.Len(), ss.At)
+}
+
+// ReadShardedSearcherFrom deserializes a snapshot written by either
+// WriteTo and rebuilds a sharded index for fast cold starts. Options
+// (including WithShards) apply to the rebuilt searcher; the threshold
+// comes from the snapshot.
+func ReadShardedSearcherFrom(r io.Reader, opts ...Option) (*ShardedSearcher, error) {
+	corpus, tau, err := readSnapshot(r)
 	if err != nil {
-		return nil, fmt.Errorf("passjoin: reading threshold: %w", err)
+		return nil, err
 	}
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("passjoin: reading corpus size: %w", err)
-	}
-	const maxStringLen = 1 << 30
-	corpus := make([]string, 0, count)
-	for i := uint64(0); i < count; i++ {
-		n, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("passjoin: reading string %d length: %w", i, err)
-		}
-		if n > maxStringLen {
-			return nil, fmt.Errorf("passjoin: string %d length %d exceeds limit", i, n)
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("passjoin: reading string %d: %w", i, err)
-		}
-		corpus = append(corpus, string(buf))
-	}
-	return NewSearcher(corpus, int(tau64), opts...)
+	return NewShardedSearcher(corpus, tau, opts...)
 }

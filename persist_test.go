@@ -94,3 +94,17 @@ func TestReadSearcherFromHugeLengthRejected(t *testing.T) {
 		t.Error("oversized string length accepted")
 	}
 }
+
+func TestReadSearcherFromHugeCountRejected(t *testing.T) {
+	// magic, version=1, tau=1, count=2^62: the count must not be
+	// preallocated before the data proves it (a corrupt header would
+	// panic or OOM); the truncated body must surface as a clean error.
+	blob := []byte("PJIX\x01\x01")
+	blob = append(blob, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x40) // varint 2^62
+	if _, err := ReadSearcherFrom(bytes.NewReader(blob)); err == nil {
+		t.Error("huge corpus count accepted")
+	}
+	if _, err := ReadShardedSearcherFrom(bytes.NewReader(blob)); err == nil {
+		t.Error("huge corpus count accepted by sharded reader")
+	}
+}

@@ -60,11 +60,21 @@ func (s *Searcher) Search(q string) []Match {
 	for i, id := range ids {
 		out[i] = Match{ID: int(id), Dist: EditDistance(q, s.m.String(int(id)))}
 	}
-	// ids are ascending; stable re-sort by distance.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Dist < out[j-1].Dist; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
+	sortMatches(out)
+	return out
+}
+
+// SearchTopK returns the k closest corpus strings to q among those within
+// the threshold, sorted by ascending distance (ties by corpus index).
+// Fewer than k matches are returned when fewer exist within the threshold;
+// k <= 0 returns nil.
+func (s *Searcher) SearchTopK(q string, k int) []Match {
+	if k <= 0 {
+		return nil
+	}
+	out := s.Search(q)
+	if len(out) > k {
+		out = out[:k]
 	}
 	return out
 }

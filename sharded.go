@@ -1,0 +1,201 @@
+package passjoin
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"passjoin/internal/core"
+	"passjoin/internal/metrics"
+)
+
+// ShardedSearcher answers approximate string search queries like Searcher,
+// but partitions the corpus across N independent segment indices
+// (hash-partitioned by record ID: record i lives in shard i mod N) and
+// fans every query out to all shards in parallel, merging the per-shard
+// results. Two things follow from the partitioning:
+//
+//   - Queries are served concurrently without caller-side cloning: each
+//     shard keeps a pool of read-only index snapshots, so any number of
+//     goroutines may call Search at once.
+//   - Each shard's inverted lists are ~1/N the size, so per-query latency
+//     drops with shard count on multi-core hardware while the result set
+//     stays exactly the same (the partition index is probed per shard and
+//     the union of shard answers is the full answer).
+//
+// This is the serving-layer counterpart of the batch joins: cmd/passjoind
+// exposes a ShardedSearcher over HTTP.
+type ShardedSearcher struct {
+	shards []*searchShard
+	tau    int
+	total  int
+}
+
+// searchShard is one hash partition: an immutable built index plus a pool
+// of query snapshots (index shared, scratch state owned) so concurrent
+// queries never contend on verifier scratch or dedup stamps.
+type searchShard struct {
+	base *core.Matcher
+	pool sync.Pool
+}
+
+func (sh *searchShard) acquire() *core.Matcher {
+	return sh.pool.Get().(*core.Matcher)
+}
+
+func (sh *searchShard) release(m *core.Matcher) { sh.pool.Put(m) }
+
+// NewShardedSearcher indexes corpus for threshold-tau queries across
+// WithShards(n) partitions (default: GOMAXPROCS). Shards are built in
+// parallel; WithStats reports the build counters aggregated over all
+// shards (IndexBytes/IndexEntries sum to the total footprint).
+func NewShardedSearcher(corpus []string, tau int, opts ...Option) (*ShardedSearcher, error) {
+	cfg, err := buildConfig(tau, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(corpus) {
+		n = len(corpus)
+	}
+	if n < 1 {
+		n = 1
+	}
+
+	ss := &ShardedSearcher{
+		shards: make([]*searchShard, n),
+		tau:    tau,
+		total:  len(corpus),
+	}
+	parts := make([]*metrics.Stats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var st *metrics.Stats
+			if cfg.stats != nil {
+				st = &metrics.Stats{}
+				parts[s] = st
+			}
+			m, err := core.NewMatcher(tau, cfg.sel.internal(), cfg.ver.internal(), st)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			for i := s; i < len(corpus); i += n {
+				m.InsertSilent(corpus[i])
+			}
+			sh := &searchShard{base: m}
+			sh.pool.New = func() any { return sh.base.Snapshot() }
+			ss.shards[s] = sh
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg.stats.fillMerged(parts)
+	return ss, nil
+}
+
+// Tau returns the searcher's threshold.
+func (ss *ShardedSearcher) Tau() int { return ss.tau }
+
+// Len returns the corpus size.
+func (ss *ShardedSearcher) Len() int { return ss.total }
+
+// NumShards returns the number of index partitions.
+func (ss *ShardedSearcher) NumShards() int { return len(ss.shards) }
+
+// At returns the id-th corpus string (ids are positions in the corpus
+// slice passed to NewShardedSearcher, same as Searcher).
+func (ss *ShardedSearcher) At(id int) string {
+	n := len(ss.shards)
+	return ss.shards[id%n].base.String(id / n)
+}
+
+// Search returns every corpus string within the threshold of q, sorted by
+// ascending distance (ties by corpus index). It is safe for concurrent use
+// from any number of goroutines.
+func (ss *ShardedSearcher) Search(q string) []Match {
+	return ss.search(q, -1)
+}
+
+// SearchTopK returns the k closest corpus strings to q among those within
+// the indexed threshold, sorted by ascending distance (ties by corpus
+// index). Fewer than k matches are returned when fewer exist within the
+// threshold; k <= 0 returns nil. Safe for concurrent use.
+func (ss *ShardedSearcher) SearchTopK(q string, k int) []Match {
+	if k <= 0 {
+		return nil
+	}
+	return ss.search(q, k)
+}
+
+// search fans q out to every shard, rewrites local ids to global ones
+// (global = local*N + shard), and merges. k < 0 means "all". The fan-out
+// runs on goroutines only when more than one CPU is available — on a
+// single core the parallelism cannot pay for its scheduling overhead, and
+// probing the shards in-line on the caller's goroutine is strictly faster.
+func (ss *ShardedSearcher) search(q string, k int) []Match {
+	n := len(ss.shards)
+	parts := make([][]Match, n)
+	if n == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for s, sh := range ss.shards {
+			parts[s] = sh.query(q, n, s)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for s, sh := range ss.shards {
+			wg.Add(1)
+			go func(s int, sh *searchShard) {
+				defer wg.Done()
+				parts[s] = sh.query(q, n, s)
+			}(s, sh)
+		}
+		wg.Wait()
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]Match, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sortMatches(out)
+	if k >= 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// query runs one shard probe on a pooled snapshot and maps local ids back
+// to global corpus ids.
+func (sh *searchShard) query(q string, n, s int) []Match {
+	m := sh.acquire()
+	ids := m.Query(q)
+	out := make([]Match, len(ids))
+	for i, id := range ids {
+		out[i] = Match{ID: int(id)*n + s, Dist: EditDistance(q, m.String(int(id)))}
+	}
+	sh.release(m)
+	return out
+}
+
+// sortMatches orders by ascending distance, ties by corpus index.
+func sortMatches(out []Match) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+}

@@ -1,0 +1,223 @@
+package passjoin_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"passjoin"
+	"passjoin/internal/dataset"
+)
+
+func shardedCorpus(t testing.TB, n int) []string {
+	t.Helper()
+	strs, err := dataset.ByName("author", n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strs
+}
+
+// TestShardedSearcherMatchesSearcher checks that for every shard count the
+// sharded searcher returns exactly the plain searcher's answer.
+func TestShardedSearcherMatchesSearcher(t *testing.T) {
+	corpus := shardedCorpus(t, 400)
+	tau := 3
+	ref, err := passjoin.NewSearcher(corpus, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 3, 4, 7, 16} {
+		ss, err := passjoin.NewShardedSearcher(corpus, tau, passjoin.WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ss.NumShards(); got != shards {
+			t.Fatalf("shards=%d: NumShards=%d", shards, got)
+		}
+		if ss.Len() != len(corpus) || ss.Tau() != tau {
+			t.Fatalf("shards=%d: Len=%d Tau=%d", shards, ss.Len(), ss.Tau())
+		}
+		for id := range corpus {
+			if ss.At(id) != corpus[id] {
+				t.Fatalf("shards=%d: At(%d)=%q want %q", shards, id, ss.At(id), corpus[id])
+			}
+		}
+		for _, q := range corpus[:50] {
+			want := ref.Search(q)
+			got := ss.Search(q)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d q=%q: got %v want %v", shards, q, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedSearcherTopK checks SearchTopK is a prefix of Search and that
+// Searcher and ShardedSearcher agree.
+func TestShardedSearcherTopK(t *testing.T) {
+	corpus := shardedCorpus(t, 300)
+	tau := 4
+	ref, err := passjoin.NewSearcher(corpus, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := passjoin.NewShardedSearcher(corpus, tau, passjoin.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range corpus[:30] {
+		full := ss.Search(q)
+		for _, k := range []int{0, 1, 2, 5, len(full), len(full) + 3} {
+			got := ss.SearchTopK(q, k)
+			want := full
+			if k <= 0 {
+				want = nil
+			} else if len(want) > k {
+				want = want[:k]
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("q=%q k=%d: got %v want %v", q, k, got, want)
+			}
+			if refGot := ref.SearchTopK(q, k); !reflect.DeepEqual(refGot, got) {
+				t.Fatalf("q=%q k=%d: searcher %v sharded %v", q, k, refGot, got)
+			}
+		}
+	}
+}
+
+// TestShardedSearcherConcurrent hammers one sharded searcher from many
+// goroutines; correctness is checked against the sequential answer and the
+// race detector checks the snapshot pooling.
+func TestShardedSearcherConcurrent(t *testing.T) {
+	corpus := shardedCorpus(t, 500)
+	tau := 2
+	ss, err := passjoin.NewShardedSearcher(corpus, tau, passjoin.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := passjoin.NewSearcher(corpus, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := corpus[:100]
+	want := make([][]passjoin.Match, len(queries))
+	for i, q := range queries {
+		want[i] = ref.Search(q)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				j := rng.Intn(len(queries))
+				if got := ss.Search(queries[j]); !reflect.DeepEqual(got, want[j]) {
+					select {
+					case errc <- fmt.Errorf("q=%q: got %v want %v", queries[j], got, want[j]):
+					default:
+					}
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedSearcherStats checks cross-shard stats aggregation: the
+// merged build counters must cover the whole corpus.
+func TestShardedSearcherStats(t *testing.T) {
+	corpus := shardedCorpus(t, 200)
+	var st passjoin.Stats
+	ss, err := passjoin.NewShardedSearcher(corpus, 2,
+		passjoin.WithShards(4), passjoin.WithStats(&st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Strings != int64(len(corpus)) {
+		t.Fatalf("Strings=%d want %d", st.Strings, len(corpus))
+	}
+	if st.IndexEntries == 0 || st.IndexBytes == 0 {
+		t.Fatalf("index stats not aggregated: %+v", st)
+	}
+	_ = ss
+}
+
+// TestShardedSearcherPersist round-trips a sharded snapshot, including a
+// reload with a different shard count and through the plain reader.
+func TestShardedSearcherPersist(t *testing.T) {
+	corpus := shardedCorpus(t, 150)
+	tau := 2
+	ss, err := passjoin.NewShardedSearcher(corpus, tau, passjoin.WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ss.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := passjoin.NewSearcher(corpus, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plainBuf bytes.Buffer
+	if _, err := plain.WriteTo(&plainBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), plainBuf.Bytes()) {
+		t.Fatal("sharded snapshot differs from plain snapshot")
+	}
+
+	re, err := passjoin.ReadShardedSearcherFrom(bytes.NewReader(buf.Bytes()), passjoin.WithShards(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Tau() != tau || re.Len() != len(corpus) || re.NumShards() != 5 {
+		t.Fatalf("reloaded: tau=%d len=%d shards=%d", re.Tau(), re.Len(), re.NumShards())
+	}
+	for _, q := range corpus[:40] {
+		if got, want := re.Search(q), ss.Search(q); !reflect.DeepEqual(got, want) {
+			t.Fatalf("q=%q: reloaded %v original %v", q, got, want)
+		}
+	}
+	if _, err := passjoin.ReadSearcherFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("plain reader rejected sharded snapshot: %v", err)
+	}
+}
+
+// TestShardedSearcherEmptyAndTiny covers degenerate corpora.
+func TestShardedSearcherEmptyAndTiny(t *testing.T) {
+	ss, err := passjoin.NewShardedSearcher(nil, 1, passjoin.WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Len() != 0 || ss.NumShards() != 1 {
+		t.Fatalf("empty: len=%d shards=%d", ss.Len(), ss.NumShards())
+	}
+	if got := ss.Search("anything"); len(got) != 0 {
+		t.Fatalf("empty corpus matched %v", got)
+	}
+
+	ss, err = passjoin.NewShardedSearcher([]string{"ab", "ac"}, 1, passjoin.WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.NumShards() != 2 {
+		t.Fatalf("tiny corpus shards=%d want 2", ss.NumShards())
+	}
+	got := ss.Search("ab")
+	if len(got) != 2 || got[0].ID != 0 || got[0].Dist != 0 || got[1].ID != 1 || got[1].Dist != 1 {
+		t.Fatalf("tiny search: %v", got)
+	}
+}
