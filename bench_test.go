@@ -9,6 +9,7 @@
 package passjoin_test
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -322,6 +323,134 @@ func BenchmarkShardedSearch(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkFrozenVsMapProbe compares the two index representations on the
+// serving read path (the extension beyond the paper that Searcher and
+// passjoind are built on). The "map" arms probe the mutable build index
+// (per-(length,slot) Go maps); the "frozen" arms probe the sealed CSR
+// form (open-addressing tables over one contiguous posting arena).
+//
+//   - map/read, frozen/read: the full read path. The map arm reproduces
+//     the pre-freeze serving pipeline — probe, then recover each hit's
+//     distance with a full-DP EditDistance pass; the frozen arm reads the
+//     distances the verification pass already bounded, so it does no
+//     second DP (hence fewer allocs/op as well as lower ns/op).
+//   - map/probe, frozen/probe: structure isolation — identical id-only
+//     queries on both representations, so the delta is purely Go-map
+//     hashing + scattered postings vs hash-table + CSR arena.
+func BenchmarkFrozenVsMapProbe(b *testing.B) {
+	cs := corpora(b)
+	strs := cs["author"]
+	tau := 3
+	// Queries are corpus strings with one substituted byte — the serving
+	// regime (close but not identical), so hits genuinely pay distance
+	// recovery rather than short-circuiting on equality.
+	queries := make([]string, len(strs))
+	for i, s := range strs {
+		q := []byte(s)
+		q[len(q)/2] = 'z'
+		queries[i] = string(q)
+	}
+	build := func(seal bool) *core.Matcher {
+		m, err := core.NewMatcher(tau, selection.MultiMatch, core.VerifyExtensionShared, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range strs {
+			m.InsertSilent(s)
+		}
+		if seal {
+			m.Seal()
+		}
+		return m
+	}
+	mapM, frozenM := build(false), build(true)
+	b.Run("map/read", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			for _, id := range mapM.QueryIDs(q) {
+				_ = verify.EditDistance(q, strs[id])
+			}
+		}
+	})
+	b.Run("frozen/read", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			frozenM.Query(queries[i%len(queries)])
+		}
+	})
+	b.Run("map/probe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mapM.QueryIDs(queries[i%len(queries)])
+		}
+	})
+	b.Run("frozen/probe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			frozenM.QueryIDs(queries[i%len(queries)])
+		}
+	})
+}
+
+// BenchmarkSearchTopK measures the k-bounded heap path against corpora
+// where matches far outnumber k.
+func BenchmarkSearchTopK(b *testing.B) {
+	cs := corpora(b)
+	strs := cs["author"]
+	s, err := passjoin.NewSearcher(strs, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 10} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.SearchTopK(strs[i%len(strs)], k)
+			}
+		})
+	}
+}
+
+// BenchmarkColdStart compares snapshot-load time for the two PJIX formats:
+// v1 re-indexes the corpus, v2 loads the frozen arena directly.
+func BenchmarkColdStart(b *testing.B) {
+	cs := corpora(b)
+	strs := cs["author"]
+	s, err := passjoin.NewSearcher(strs, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if _, err := s.WriteTo(&v2); err != nil {
+		b.Fatal(err)
+	}
+	ss, err := passjoin.NewShardedSearcher(strs, 2, passjoin.WithShards(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var corpusOnly bytes.Buffer
+	if _, err := ss.WriteTo(&corpusOnly); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("corpus-only-rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := passjoin.ReadSearcherFrom(bytes.NewReader(corpusOnly.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("v2-frozen-load", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := passjoin.ReadSearcherFrom(bytes.NewReader(v2.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkMicroVerify isolates the verifier kernels of §5.1.

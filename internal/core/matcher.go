@@ -15,18 +15,32 @@ import (
 // the current string, which the selection windows already support (Δ may be
 // negative).
 //
-// Matcher powers streaming deduplication workloads: feed records as they
-// arrive, react to near-duplicates immediately.
+// A Matcher has two phases. While mutable it supports interleaved Insert
+// and Query against the map-based build index. Seal freezes the index into
+// its immutable CSR form (index.Frozen): queries get the read-optimized
+// probe path and snapshots share one arena, but further insertion panics.
+//
+// Matcher powers streaming deduplication workloads (mutable phase: feed
+// records as they arrive, react to near-duplicates immediately) and static
+// search serving (sealed phase).
 type Matcher struct {
 	tau  int
 	p    *prober
-	idx  *index.Index
+	idx  *index.Index  // build index; nil once sealed
+	fz   *index.Frozen // frozen index; non-nil once sealed
 	strs []string
 	// shorts lists inserted strings with length <= tau, which bypass the
 	// segment index.
 	shorts []int32
 	st     *metrics.Stats
 	epoch  int32
+}
+
+// Hit is one query result: the id of an indexed string and its exact edit
+// distance from the query (always <= tau).
+type Hit struct {
+	ID   int32
+	Dist int32
 }
 
 // NewMatcher creates an online matcher for threshold tau.
@@ -39,7 +53,42 @@ func NewMatcher(tau int, sel selection.Method, vk VerifyKind, st *metrics.Stats)
 		idx: index.New(tau),
 		st:  st,
 	}
-	m.p = newProber(tau, sel, vk, st, m.idx, nil)
+	m.p = newProber(tau, sel, vk, st, m.idx, nil, nil)
+	return m, nil
+}
+
+// NewSealedMatcher creates a matcher directly in the sealed phase from a
+// pre-built frozen index over corpus — the PJIX v2 cold-start path, which
+// skips the map index entirely. fz must index corpus (fz.Tau() == tau and
+// every posting id < len(corpus)).
+func NewSealedMatcher(tau int, sel selection.Method, vk VerifyKind, st *metrics.Stats, corpus []string, fz *index.Frozen) (*Matcher, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("core: negative threshold %d", tau)
+	}
+	if fz == nil {
+		return nil, fmt.Errorf("core: nil frozen index")
+	}
+	if fz.Tau() != tau {
+		return nil, fmt.Errorf("core: frozen index built for tau=%d, want %d", fz.Tau(), tau)
+	}
+	m := &Matcher{
+		tau:  tau,
+		fz:   fz,
+		strs: corpus,
+		st:   st,
+	}
+	for id, s := range corpus {
+		if len(s) < tau+1 {
+			m.shorts = append(m.shorts, int32(id))
+		}
+	}
+	m.p = newProber(tau, sel, vk, st, nil, fz, corpus)
+	if st != nil {
+		st.Strings = int64(len(corpus))
+		st.ShortStrings = int64(len(m.shorts))
+		st.FrozenBytes = fz.Bytes()
+		st.FrozenEntries = fz.Entries()
+	}
 	return m, nil
 }
 
@@ -49,10 +98,52 @@ func (m *Matcher) Len() int { return len(m.strs) }
 // String returns the id-th inserted string.
 func (m *Matcher) String(id int) string { return m.strs[id] }
 
-// Query reports ids of previously inserted strings within the threshold of
-// s, without inserting s. Results are sorted ascending.
-func (m *Matcher) Query(s string) []int32 {
-	out := m.match(s)
+// Seal freezes the matcher's index into the immutable CSR form and drops
+// the map index. Queries keep working (faster); Insert panics afterwards.
+// Sealing twice is a no-op.
+func (m *Matcher) Seal() {
+	if m.fz != nil {
+		return
+	}
+	m.fz = m.idx.Freeze(m.strs)
+	m.idx = nil
+	m.p.idx = nil
+	m.p.fz = m.fz
+	if m.st != nil {
+		m.st.FrozenBytes = m.fz.Bytes()
+		m.st.FrozenEntries = m.fz.Entries()
+	}
+}
+
+// Sealed reports whether Seal has been called.
+func (m *Matcher) Sealed() bool { return m.fz != nil }
+
+// FrozenIndex returns the frozen index, or nil before Seal.
+func (m *Matcher) FrozenIndex() *index.Frozen { return m.fz }
+
+// Query reports previously inserted strings within the threshold of s as
+// (id, exact distance) pairs, without inserting s. Results are sorted by
+// ascending id. The distances come from the verification pass itself, so
+// callers need no second edit-distance computation.
+func (m *Matcher) Query(s string) []Hit {
+	p := m.p
+	p.ref = m.strs
+	p.epoch = m.epoch
+	p.needDist = true
+	p.probe(s, len(s)-m.tau, len(s)+m.tau)
+	out := make([]Hit, 0, len(p.hits))
+	for k, id := range p.hits {
+		out = append(out, Hit{ID: id, Dist: p.dists[k]})
+	}
+	for _, rid := range m.shorts {
+		if absInt(len(m.strs[rid])-len(s)) > m.tau {
+			continue
+		}
+		if d := p.verifyDirect(m.strs[rid], s); d <= m.tau {
+			out = append(out, Hit{ID: rid, Dist: int32(d)})
+		}
+	}
+	sortHitsByID(out)
 	m.epoch++
 	if m.st != nil {
 		m.st.Results += int64(len(out))
@@ -60,11 +151,27 @@ func (m *Matcher) Query(s string) []int32 {
 	return out
 }
 
+// QueryIDs is Query without the distance annotation: the extension
+// verifiers skip the per-result exact-distance DP, so it is the cheaper
+// form when only membership matters (streaming dedup, joins).
+func (m *Matcher) QueryIDs(s string) []int32 {
+	ids := m.match(s, false)
+	m.epoch++
+	if m.st != nil {
+		m.st.Results += int64(len(ids))
+	}
+	return ids
+}
+
 // Insert adds s and returns the ids of previously inserted strings within
 // the threshold (sorted ascending). The returned id of s itself is
-// len-1 after insertion; duplicates are distinct ids.
+// len-1 after insertion; duplicates are distinct ids. Insert panics on a
+// sealed matcher.
 func (m *Matcher) Insert(s string) []int32 {
-	out := m.match(s)
+	if m.fz != nil {
+		panic("core: Insert into sealed Matcher")
+	}
+	out := m.match(s, false)
 	id := int32(len(m.strs))
 	m.strs = append(m.strs, s)
 	if len(s) >= m.tau+1 {
@@ -92,24 +199,28 @@ func (m *Matcher) Insert(s string) []int32 {
 }
 
 // Snapshot returns a read-only fork of the matcher: it shares the built
-// index and corpus but owns fresh verifier scratch and deduplication
-// stamps, so Query on the fork and on the original can run concurrently.
-// Inserting into a snapshot (or into the original after snapshotting, while
-// forks are querying) is not supported.
+// index (map or frozen) and corpus but owns fresh verifier scratch and
+// deduplication stamps, so Query on the fork and on the original can run
+// concurrently. Inserting into a snapshot (or into the original after
+// snapshotting, while forks are querying) is not supported.
 func (m *Matcher) Snapshot() *Matcher {
 	n := &Matcher{
 		tau:    m.tau,
 		idx:    m.idx,
+		fz:     m.fz,
 		strs:   m.strs,
 		shorts: m.shorts,
 	}
-	n.p = newProber(m.p.tau, m.p.sel, m.p.vk, nil, m.idx, m.strs)
+	n.p = newProber(m.p.tau, m.p.sel, m.p.vk, nil, m.idx, m.fz, m.strs)
 	return n
 }
 
 // InsertSilent adds s without reporting matches — the bulk-loading path
-// used to build a static search index.
+// used to build a static search index. It panics on a sealed matcher.
 func (m *Matcher) InsertSilent(s string) {
+	if m.fz != nil {
+		panic("core: Insert into sealed Matcher")
+	}
 	id := int32(len(m.strs))
 	m.strs = append(m.strs, s)
 	if len(s) >= m.tau+1 {
@@ -132,21 +243,24 @@ func (m *Matcher) InsertSilent(s string) {
 	}
 }
 
-func (m *Matcher) match(s string) []int32 {
-	m.p.ref = m.strs
-	m.p.epoch = m.epoch
-	m.p.probe(s, len(s)-m.tau, len(s)+m.tau)
-	out := append([]int32(nil), m.p.hits...)
+// match probes for s and returns matching ids sorted ascending.
+func (m *Matcher) match(s string, needDist bool) []int32 {
+	p := m.p
+	p.ref = m.strs
+	p.epoch = m.epoch
+	p.needDist = needDist
+	p.probe(s, len(s)-m.tau, len(s)+m.tau)
+	ids := append(make([]int32, 0, len(p.hits)), p.hits...)
 	for _, rid := range m.shorts {
 		if absInt(len(m.strs[rid])-len(s)) > m.tau {
 			continue
 		}
-		if m.p.verifyDirect(m.strs[rid], s) {
-			out = append(out, rid)
+		if p.verifyDirect(m.strs[rid], s) <= m.tau {
+			ids = append(ids, rid)
 		}
 	}
-	sortInt32(out)
-	return out
+	sortInt32(ids)
+	return ids
 }
 
 func absInt(x int) int {
@@ -160,6 +274,15 @@ func sortInt32(a []int32) {
 	for i := 1; i < len(a); i++ {
 		for j := i; j > 0 && a[j] < a[j-1]; j-- {
 			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// sortHitsByID insertion-sorts hits by ascending id.
+func sortHitsByID(hs []Hit) {
+	for i := 1; i < len(hs); i++ {
+		for j := i; j > 0 && hs[j].ID < hs[j-1].ID; j-- {
+			hs[j], hs[j-1] = hs[j-1], hs[j]
 		}
 	}
 }

@@ -31,6 +31,9 @@ func parallelJoin(rset, sset []string, opt Options) ([]Pair, error) {
 			shorts = append(shorts, int32(sid))
 		}
 	}
+	// The index is complete before any probe starts, so freeze it: workers
+	// probe the immutable CSR arena instead of contending map buckets.
+	fz := idx.Freeze(ref)
 
 	workers := opt.Parallel
 	if workers > len(rset) {
@@ -50,7 +53,7 @@ func parallelJoin(rset, sset []string, opt Options) ([]Pair, error) {
 			if st != nil {
 				wst = &results[w].stats
 			}
-			p := newProber(tau, opt.Selection, opt.Verification, wst, idx, ref)
+			p := newProber(tau, opt.Selection, opt.Verification, wst, nil, fz, ref)
 			var out []Pair
 			for rid := w; rid < len(rset); rid += workers {
 				r := rset[rid]
@@ -63,7 +66,7 @@ func parallelJoin(rset, sset []string, opt Options) ([]Pair, error) {
 					if absDiff(len(ref[sid]), len(r)) > tau {
 						continue
 					}
-					if p.verifyDirect(ref[sid], r) {
+					if p.verifyDirect(ref[sid], r) <= tau {
 						out = append(out, Pair{R: int32(rid), S: sRecs[sid].orig})
 					}
 				}
@@ -128,6 +131,9 @@ func parallelSelfJoin(strs []string, opt Options) ([]Pair, error) {
 			shorts = append(shorts, int32(sid))
 		}
 	}
+	// Index-once/probe-parallel means the index is read-only from here on;
+	// freeze it so every worker probes the shared immutable arena.
+	fz := idx.Freeze(ref)
 
 	workers := opt.Parallel
 	if workers > n {
@@ -147,7 +153,7 @@ func parallelSelfJoin(strs []string, opt Options) ([]Pair, error) {
 			if st != nil {
 				wst = &results[w].stats
 			}
-			p := newProber(tau, opt.Selection, opt.Verification, wst, idx, ref)
+			p := newProber(tau, opt.Selection, opt.Verification, wst, nil, fz, ref)
 			var out []Pair
 			for sid := w; sid < n; sid += workers {
 				s := ref[sid]
@@ -165,7 +171,7 @@ func parallelSelfJoin(strs []string, opt Options) ([]Pair, error) {
 					if len(ref[rid]) < len(s)-tau {
 						continue
 					}
-					if p.verifyDirect(ref[rid], s) {
+					if p.verifyDirect(ref[rid], s) <= tau {
 						out = append(out, normalize(recs[rid].orig, recs[sid].orig))
 					}
 				}

@@ -12,6 +12,9 @@ import (
 // being probed, the verifier scratch space, and the deduplication stamps.
 // It is single-goroutine state; the parallel mode gives each worker its own
 // prober.
+//
+// Exactly one of idx (the mutable build/scan index) and fz (the frozen
+// read-optimized index) is non-nil; probe dispatches on which.
 type prober struct {
 	tau int
 	sel selection.Method
@@ -19,6 +22,7 @@ type prober struct {
 	st  *metrics.Stats
 
 	idx *index.Index
+	fz  *index.Frozen
 	ref []string // indexed strings by id
 
 	ver        verify.Verifier
@@ -36,17 +40,26 @@ type prober struct {
 	// probes a full index but must only pair with predecessors).
 	maxID int32
 
-	// hits collects accepted candidate ids for the current probe.
-	hits []int32
+	// needDist asks the verifiers to record each accepted candidate's exact
+	// edit distance in dists (aligned with hits). Whole-string verifiers get
+	// it for free; the extension path pays one extra banded DP per accepted
+	// pair, so join paths that only need pairs leave this off.
+	needDist bool
+
+	// hits collects accepted candidate ids for the current probe; dists the
+	// matching distances when needDist is set.
+	hits  []int32
+	dists []int32
 }
 
-func newProber(tau int, sel selection.Method, vk VerifyKind, st *metrics.Stats, idx *index.Index, ref []string) *prober {
+func newProber(tau int, sel selection.Method, vk VerifyKind, st *metrics.Stats, idx *index.Index, fz *index.Frozen, ref []string) *prober {
 	p := &prober{
 		tau:   tau,
 		sel:   sel,
 		vk:    vk,
 		st:    st,
 		idx:   idx,
+		fz:    fz,
 		ref:   ref,
 		maxID: -1,
 	}
@@ -66,18 +79,29 @@ func newProber(tau int, sel selection.Method, vk VerifyKind, st *metrics.Stats, 
 // and records their ids in p.hits. p.epoch must be unique per call.
 func (p *prober) probe(s string, lmin, lmax int) {
 	p.hits = p.hits[:0]
+	p.dists = p.dists[:0]
 	tau := p.tau
 	if lmin < tau+1 {
 		lmin = tau + 1
 	}
 	for l := lmin; l <= lmax; l++ {
-		g := p.idx.Group(l)
-		if g == nil {
+		var g *index.Group
+		var fg *index.FrozenGroup
+		if p.fz != nil {
+			if fg = p.fz.Group(l); fg == nil {
+				continue
+			}
+		} else if g = p.idx.Group(l); g == nil {
 			continue
 		}
 		for i := 1; i <= tau+1; i++ {
-			pi := partition.SegPos(l, tau, i)
-			li := partition.SegLen(l, tau, i)
+			var pi, li int
+			if fg != nil {
+				pi, li = fg.Seg(i)
+			} else {
+				pi = partition.SegPos(l, tau, i)
+				li = partition.SegLen(l, tau, i)
+			}
 			lo, hi := p.sel.Window(len(s), l, tau, i, pi, li)
 			if hi < lo {
 				continue
@@ -88,7 +112,12 @@ func (p *prober) probe(s string, lmin, lmax int) {
 			}
 			for pos := lo; pos <= hi; pos++ {
 				w := s[pos-1 : pos-1+li]
-				lst := g.List(i, w)
+				var lst []int32
+				if fg != nil {
+					lst = fg.List(i, w)
+				} else {
+					lst = g.List(i, w)
+				}
 				if len(lst) == 0 {
 					continue
 				}
@@ -144,6 +173,9 @@ func (p *prober) verifyWhole(s string, lst []int32) {
 		}
 		if d <= tau {
 			p.hits = append(p.hits, rid)
+			if p.needDist {
+				p.dists = append(p.dists, int32(d))
+			}
 		}
 	}
 }
@@ -200,16 +232,26 @@ func (p *prober) verifyExtension(s string, lst []int32, i, pos, pi, li int) {
 		}
 		p.accepted[rid] = p.epoch
 		p.hits = append(p.hits, rid)
+		if p.needDist {
+			// dl+dr only bounds the distance from above (the optimal
+			// alignment need not pass through this segment match), so
+			// recover the exact value — the bit-parallel kernel is the
+			// cheapest exact computer for word-sized strings, and the
+			// accepted pair is guaranteed within tau so the thresholded
+			// result is exact.
+			p.dists = append(p.dists, int32(p.ver.DistMyers(r, s, p.tau)))
+		}
 	}
 }
 
 // verifyDirect verifies one candidate with the whole-string verifier,
-// bypassing segment context. Used for the short-string side list.
-func (p *prober) verifyDirect(r, s string) bool {
+// bypassing segment context, and returns the exact distance (or tau+1 when
+// beyond the threshold). Used for the short-string side list.
+func (p *prober) verifyDirect(r, s string) int {
 	if p.st != nil {
 		p.st.Candidates++
 		p.st.UniqueCandidates++
 		p.st.Verifications++
 	}
-	return p.ver.Dist(r, s, p.tau) <= p.tau
+	return p.ver.Dist(r, s, p.tau)
 }

@@ -49,7 +49,7 @@ func JoinFunc(rset, sset []string, opt Options, emit func(Pair) bool) error {
 		ref[i] = sRecs[i].s
 	}
 	idx := index.New(tau)
-	p := newProber(tau, opt.Selection, opt.Verification, st, idx, ref)
+	p := newProber(tau, opt.Selection, opt.Verification, st, idx, nil, ref)
 
 	var shorts []int32
 	shortHead := 0
@@ -90,7 +90,7 @@ scan:
 		for _, sid := range shorts[shortHead:] {
 			// shorts are sorted by length; all of them are <= |r|+τ by the
 			// insertion rule and >= |r|−τ by the two-pointer.
-			if p.verifyDirect(ref[sid], r) {
+			if p.verifyDirect(ref[sid], r) <= tau {
 				results++
 				if !emit(Pair{R: rRecs[rid].orig, S: sRecs[sid].orig}) {
 					break scan

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"passjoin/internal/selection"
+	"passjoin/internal/verify"
+)
+
+func sealedTestCorpus(rng *rand.Rand, n int) []string {
+	const alphabet = "abcde"
+	out := make([]string, n)
+	for i := range out {
+		l := 1 + rng.Intn(20)
+		b := make([]byte, l)
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+// TestSealedQueryEquivalence: sealing must not change any query answer —
+// same ids, same distances, for every verification kind and a mix of
+// corpus and off-corpus queries. Distances are independently checked
+// against the full DP.
+func TestSealedQueryEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tau := range []int{0, 1, 2, 3} {
+		for _, vk := range VerifyKinds {
+			corpus := sealedTestCorpus(rng, 150)
+			mut, err := NewMatcher(tau, selection.MultiMatch, vk, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sealed, err := NewMatcher(tau, selection.MultiMatch, vk, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range corpus {
+				mut.InsertSilent(s)
+				sealed.InsertSilent(s)
+			}
+			sealed.Seal()
+			if !sealed.Sealed() || sealed.FrozenIndex() == nil {
+				t.Fatal("Seal did not seal")
+			}
+			queries := append(append([]string(nil), corpus[:40]...), sealedTestCorpus(rng, 40)...)
+			for _, q := range queries {
+				got := sealed.Query(q)
+				want := mut.Query(q)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("tau=%d vk=%v q=%q: sealed %v, mutable %v", tau, vk, q, got, want)
+				}
+				for _, h := range got {
+					if d := verify.EditDistance(corpus[h.ID], q); d != int(h.Dist) {
+						t.Fatalf("tau=%d vk=%v q=%q id=%d: reported dist %d, true %d", tau, vk, q, h.ID, h.Dist, d)
+					}
+				}
+				if ids := sealed.QueryIDs(q); len(ids) != len(got) {
+					t.Fatalf("tau=%d vk=%v q=%q: QueryIDs %v vs Query %v", tau, vk, q, ids, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSealedSnapshotSharesFrozen: snapshots of a sealed matcher answer
+// like the original (they share the frozen arena).
+func TestSealedSnapshotSharesFrozen(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	corpus := sealedTestCorpus(rng, 100)
+	m, err := NewMatcher(2, selection.MultiMatch, VerifyExtensionShared, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range corpus {
+		m.InsertSilent(s)
+	}
+	m.Seal()
+	snap := m.Snapshot()
+	if snap.FrozenIndex() != m.FrozenIndex() {
+		t.Fatal("snapshot does not share the frozen index")
+	}
+	for _, q := range corpus[:30] {
+		if got, want := snap.Query(q), m.Query(q); !reflect.DeepEqual(got, want) {
+			t.Fatalf("q=%q: snapshot %v, original %v", q, got, want)
+		}
+	}
+}
+
+// TestSealedInsertPanics: the sealed phase is read-only.
+func TestSealedInsertPanics(t *testing.T) {
+	m, err := NewMatcher(1, selection.MultiMatch, VerifyExtensionShared, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InsertSilent("hello")
+	m.Seal()
+	m.Seal() // idempotent
+	for name, fn := range map[string]func(){
+		"Insert":       func() { m.Insert("world") },
+		"InsertSilent": func() { m.InsertSilent("world") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on sealed matcher did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestNewSealedMatcherValidation covers the cold-start constructor's
+// argument checks.
+func TestNewSealedMatcherValidation(t *testing.T) {
+	corpus := []string{"abcdef", "abcdeg", "x"}
+	m, err := NewMatcher(2, selection.MultiMatch, VerifyExtensionShared, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range corpus {
+		m.InsertSilent(s)
+	}
+	m.Seal()
+	fz := m.FrozenIndex()
+
+	re, err := NewSealedMatcher(2, selection.MultiMatch, VerifyExtensionShared, nil, corpus, fz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := re.Query("abcdef"), m.Query("abcdef"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rebuilt sealed matcher: %v, want %v", got, want)
+	}
+	if _, err := NewSealedMatcher(3, selection.MultiMatch, VerifyExtensionShared, nil, corpus, fz); err == nil {
+		t.Error("tau mismatch accepted")
+	}
+	if _, err := NewSealedMatcher(2, selection.MultiMatch, VerifyExtensionShared, nil, corpus, nil); err == nil {
+		t.Error("nil frozen index accepted")
+	}
+	if _, err := NewSealedMatcher(-1, selection.MultiMatch, VerifyExtensionShared, nil, corpus, fz); err == nil {
+		t.Error("negative tau accepted")
+	}
+}

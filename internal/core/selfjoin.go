@@ -48,7 +48,7 @@ func SelfJoinFunc(strs []string, opt Options, emit func(Pair) bool) error {
 	tau := opt.Tau
 	st := opt.Stats
 	idx := index.New(tau)
-	p := newProber(tau, opt.Selection, opt.Verification, st, idx, ref)
+	p := newProber(tau, opt.Selection, opt.Verification, st, idx, nil, ref)
 
 	var shorts []int32
 	shortHead := 0
@@ -76,7 +76,7 @@ scan:
 		// are verified directly; the two-pointer above keeps only those
 		// within the length window.
 		for _, rid := range shorts[shortHead:] {
-			if p.verifyDirect(ref[rid], s) {
+			if p.verifyDirect(ref[rid], s) <= tau {
 				if !send(recs[rid].orig, recs[sid].orig) {
 					break scan
 				}

@@ -1,0 +1,227 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"passjoin/internal/partition"
+)
+
+// randomCorpus synthesizes strings over a small alphabet so segments
+// collide often — the regime that stresses both the map index and the
+// frozen tables' collision confirmation.
+func randomCorpus(rng *rand.Rand, n, maxLen int) []string {
+	const alphabet = "abcd"
+	out := make([]string, n)
+	for i := range out {
+		l := 1 + rng.Intn(maxLen)
+		b := make([]byte, l)
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+// buildBoth indexes every partitionable string of corpus in the mutable
+// index and freezes a copy.
+func buildBoth(corpus []string, tau int) (*Index, *Frozen) {
+	x := New(tau)
+	for id, s := range corpus {
+		if len(s) >= tau+1 {
+			x.Add(int32(id), s)
+		}
+	}
+	return x, x.Freeze(corpus)
+}
+
+// TestFrozenMatchesMapIndex is the equivalence property: for every live
+// (length, slot) and every probe string — both real segment keys and
+// random misses — the frozen index must return exactly the map index's
+// posting list.
+func TestFrozenMatchesMapIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tau := range []int{0, 1, 2, 3, 5} {
+		for trial := 0; trial < 20; trial++ {
+			corpus := randomCorpus(rng, 30+rng.Intn(200), 2+rng.Intn(24))
+			x, fz := buildBoth(corpus, tau)
+			if fz.Tau() != tau {
+				t.Fatalf("frozen tau = %d, want %d", fz.Tau(), tau)
+			}
+			if fz.Entries() != x.Entries() {
+				t.Fatalf("tau=%d: frozen entries %d, map %d", tau, fz.Entries(), x.Entries())
+			}
+			for _, l := range x.Lengths() {
+				g := x.Group(l)
+				fg := fz.Group(l)
+				if fg == nil {
+					t.Fatalf("tau=%d: frozen missing group for length %d", tau, l)
+				}
+				for i := 1; i <= tau+1; i++ {
+					for w, want := range g.segs[i-1] {
+						if got := fg.List(i, w); !reflect.DeepEqual(got, want) {
+							t.Fatalf("tau=%d l=%d slot=%d key=%q: frozen %v, map %v", tau, l, i, w, got, want)
+						}
+					}
+					// Probe misses: random strings of the slot's segment
+					// length, most of which are not indexed.
+					li := partition.SegLen(l, tau, i)
+					for probe := 0; probe < 20; probe++ {
+						b := make([]byte, li)
+						for j := range b {
+							b[j] = "abcd"[rng.Intn(4)]
+						}
+						w := string(b)
+						want := g.segs[i-1][w]
+						got := fg.List(i, w)
+						if len(want) == 0 && len(got) != 0 {
+							t.Fatalf("tau=%d l=%d slot=%d key=%q: frozen found %v, map empty", tau, l, i, w, got)
+						}
+						if len(want) != 0 && !reflect.DeepEqual(got, want) {
+							t.Fatalf("tau=%d l=%d slot=%d key=%q: frozen %v, map %v", tau, l, i, w, got, want)
+						}
+					}
+				}
+			}
+			// Lengths with no group must stay empty on both sides.
+			for l := tau + 1; l < 40; l++ {
+				if x.Group(l) == nil && fz.Group(l) != nil {
+					t.Fatalf("tau=%d: frozen has spurious group for length %d", tau, l)
+				}
+			}
+		}
+	}
+}
+
+// TestFrozenEmpty freezes an empty index.
+func TestFrozenEmpty(t *testing.T) {
+	x := New(2)
+	fz := x.Freeze(nil)
+	if fz.Entries() != 0 || fz.Group(3) != nil || len(fz.Lengths()) != 0 {
+		t.Fatalf("empty freeze: %+v", fz)
+	}
+}
+
+// TestFrozenBuilderRejectsCorruptInput exercises the loader-facing
+// validation: a snapshot parser must not be able to build an index that
+// panics at query time.
+func TestFrozenBuilderRejectsCorruptInput(t *testing.T) {
+	ref := []string{"abcdef", "ghijkl"}
+	newB := func() *FrozenBuilder {
+		b, err := NewFrozenBuilder(1, ref, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if _, err := NewFrozenBuilder(1, ref, 100); err == nil {
+		t.Error("impossible posting total accepted")
+	}
+	if _, err := NewFrozenBuilder(-1, ref, 0); err == nil {
+		t.Error("negative tau accepted")
+	}
+	if err := newB().BeginGroup(100); err == nil {
+		t.Error("group longer than any corpus string accepted")
+	}
+	if err := newB().BeginGroup(1); err == nil {
+		t.Error("group shorter than tau+1 accepted")
+	}
+	b := newB()
+	if err := b.BeginGroup(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BeginGroup(6); err == nil {
+		t.Error("duplicate group accepted")
+	}
+	b = newB()
+	b.BeginGroup(6)
+	if err := b.BeginSlot(3, 1); err == nil {
+		t.Error("slot index beyond tau+1 accepted")
+	}
+	if err := b.BeginSlot(1, 100); err == nil {
+		t.Error("slot with more keys than postings accepted")
+	}
+	if err := b.BeginSlot(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddList(1, nil); err == nil {
+		t.Error("empty posting list accepted")
+	}
+	if err := b.AddList(1, []int32{5}); err == nil {
+		t.Error("out-of-range posting id accepted")
+	}
+	if err := b.AddList(1, []int32{0, 1, 0, 1, 0}); err == nil {
+		t.Error("arena overflow accepted")
+	}
+	if err := b.AddList(1, []int32{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Finish(); err == nil {
+		t.Error("short arena accepted by Finish")
+	}
+	// Wrong-length posting for the group.
+	b = newB()
+	b.BeginGroup(6)
+	b.BeginSlot(1, 1)
+	short := []string{"abcdef", "xy"}
+	b2, _ := NewFrozenBuilder(1, short, 2)
+	b2.BeginGroup(6)
+	b2.BeginSlot(1, 1)
+	if err := b2.AddList(1, []int32{1}); err == nil {
+		t.Error("posting with wrong string length accepted")
+	}
+}
+
+// FuzzFrozenLookup drives the equivalence property from fuzzed corpora and
+// probes: whatever the corpus shape, frozen lookups must agree with the
+// map index on every slot for both the probe string's prefixes and all
+// real segment keys.
+func FuzzFrozenLookup(f *testing.F) {
+	f.Add([]byte("hello\nworld\nhelp\nheld"), uint8(2), []byte("hel"))
+	f.Add([]byte("aaaa\naaab\nabab\nbbbb\naa"), uint8(1), []byte("aa"))
+	f.Add([]byte(""), uint8(0), []byte("x"))
+	f.Fuzz(func(t *testing.T, data []byte, tauRaw uint8, probe []byte) {
+		tau := int(tauRaw % 5)
+		var corpus []string
+		start := 0
+		for i := 0; i <= len(data); i++ {
+			if i == len(data) || data[i] == '\n' {
+				if i > start {
+					corpus = append(corpus, string(data[start:i]))
+				}
+				start = i + 1
+			}
+			if len(corpus) >= 64 {
+				break
+			}
+		}
+		x, fz := buildBoth(corpus, tau)
+		if fz.Entries() != x.Entries() {
+			t.Fatalf("entries: frozen %d map %d", fz.Entries(), x.Entries())
+		}
+		p := string(probe)
+		for _, l := range x.Lengths() {
+			g := x.Group(l)
+			fg := fz.Group(l)
+			if fg == nil {
+				t.Fatalf("missing frozen group for length %d", l)
+			}
+			for i := 1; i <= tau+1; i++ {
+				li := partition.SegLen(l, tau, i)
+				if len(p) >= li {
+					w := p[:li]
+					if got, want := fg.List(i, w), g.segs[i-1][w]; len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+						t.Fatalf("l=%d slot=%d probe=%q: frozen %v map %v", l, i, w, got, want)
+					}
+				}
+				for w, want := range g.segs[i-1] {
+					if got := fg.List(i, w); !reflect.DeepEqual(got, want) {
+						t.Fatalf("l=%d slot=%d key=%q: frozen %v map %v", l, i, w, got, want)
+					}
+				}
+			}
+		}
+	})
+}

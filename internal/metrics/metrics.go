@@ -46,6 +46,11 @@ type Stats struct {
 	IndexBytes int64
 	// IndexEntries is the number of postings stored in the index.
 	IndexEntries int64
+	// FrozenBytes is the exact retained size of the frozen (CSR) form of
+	// the index after sealing; FrozenEntries is its posting count. Zero
+	// when the run never froze an index.
+	FrozenBytes   int64
+	FrozenEntries int64
 	// PeakLiveGroups is the largest number of simultaneously live length
 	// groups (the paper bounds this by τ+1 for self joins and 2τ+1 for R≠S
 	// joins under the sliding-window scan).
@@ -71,6 +76,8 @@ func (s *Stats) Add(o *Stats) {
 	s.Results += o.Results
 	s.IndexBytes += o.IndexBytes
 	s.IndexEntries += o.IndexEntries
+	s.FrozenBytes += o.FrozenBytes
+	s.FrozenEntries += o.FrozenEntries
 	if o.PeakLiveGroups > s.PeakLiveGroups {
 		s.PeakLiveGroups = o.PeakLiveGroups
 	}
@@ -113,6 +120,8 @@ func (s *Stats) String() string {
 	w("results", s.Results)
 	w("indexBytes", s.IndexBytes)
 	w("indexEntries", s.IndexEntries)
+	w("frozenBytes", s.FrozenBytes)
+	w("frozenEntries", s.FrozenEntries)
 	w("peakGroups", s.PeakLiveGroups)
 	if b.Len() == 0 {
 		return "<empty stats>"

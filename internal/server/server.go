@@ -141,7 +141,10 @@ type DedupPair struct {
 	Dist  int    `json:"dist"`
 }
 
-// StatsResponse is the reply to /v1/stats.
+// StatsResponse is the reply to /v1/stats. FrozenBytes is the exact
+// retained size of the frozen (CSR) segment indices actually serving
+// queries, summed across shards; Index carries the full build-time
+// counter set (including the same figure as Index.FrozenBytes).
 type StatsResponse struct {
 	Strings       int            `json:"strings"`
 	Tau           int            `json:"tau"`
@@ -150,6 +153,7 @@ type StatsResponse struct {
 	Queries       int64          `json:"queries"`
 	Matches       int64          `json:"matches"`
 	DedupStreams  int64          `json:"dedup_streams"`
+	FrozenBytes   int64          `json:"frozen_bytes"`
 	Index         passjoin.Stats `json:"index"`
 }
 
@@ -342,6 +346,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Queries:       s.queries.Load(),
 		Matches:       s.matches.Load(),
 		DedupStreams:  s.dedups.Load(),
+		FrozenBytes:   s.stats.FrozenBytes,
 		Index:         s.stats,
 	})
 }

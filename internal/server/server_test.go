@@ -301,6 +301,9 @@ func TestConcurrentClients(t *testing.T) {
 	if st.Shards != 4 || st.Strings != len(corpus) || st.Index.Strings != int64(len(corpus)) {
 		t.Fatalf("stats %+v", st)
 	}
+	if st.FrozenBytes == 0 || st.Index.FrozenBytes != st.FrozenBytes || st.Index.FrozenEntries == 0 {
+		t.Fatalf("frozen index stats not surfaced: %+v", st)
+	}
 	_ = srv
 }
 
@@ -312,18 +315,18 @@ func TestBadRequests(t *testing.T) {
 		body         string
 		want         int
 	}{
-		{"GET", "/v1/search", "", http.StatusBadRequest},                    // missing q
-		{"GET", "/v1/search?q=x&k=zap", "", http.StatusBadRequest},          // bad k
-		{"GET", "/v1/search?q=x&k=-1", "", http.StatusBadRequest},           // negative k
-		{"GET", "/v1/topk?q=x&k=0", "", http.StatusBadRequest},              // non-positive k
-		{"POST", "/v1/search", `{}`, http.StatusBadRequest},                 // empty query
-		{"POST", "/v1/search", `{"query":""}`, http.StatusBadRequest},       // empty query
-		{"POST", "/v1/batch", "{", http.StatusBadRequest},                   // truncated JSON
-		{"POST", "/v1/batch", `{"bogus":1}`, http.StatusBadRequest},         // unknown field
-		{"GET", "/v1/dedup", "", http.StatusMethodNotAllowed},               // wrong method
-		{"POST", "/v1/dedup?tau=-2", "", http.StatusBadRequest},             // bad tau
-		{"DELETE", "/v1/search?q=x", "", http.StatusMethodNotAllowed},       // wrong method
-		{"GET", "/v1/nonesuch", "", http.StatusNotFound},                    // unknown route
+		{"GET", "/v1/search", "", http.StatusBadRequest},              // missing q
+		{"GET", "/v1/search?q=x&k=zap", "", http.StatusBadRequest},    // bad k
+		{"GET", "/v1/search?q=x&k=-1", "", http.StatusBadRequest},     // negative k
+		{"GET", "/v1/topk?q=x&k=0", "", http.StatusBadRequest},        // non-positive k
+		{"POST", "/v1/search", `{}`, http.StatusBadRequest},           // empty query
+		{"POST", "/v1/search", `{"query":""}`, http.StatusBadRequest}, // empty query
+		{"POST", "/v1/batch", "{", http.StatusBadRequest},             // truncated JSON
+		{"POST", "/v1/batch", `{"bogus":1}`, http.StatusBadRequest},   // unknown field
+		{"GET", "/v1/dedup", "", http.StatusMethodNotAllowed},         // wrong method
+		{"POST", "/v1/dedup?tau=-2", "", http.StatusBadRequest},       // bad tau
+		{"DELETE", "/v1/search?q=x", "", http.StatusMethodNotAllowed}, // wrong method
+		{"GET", "/v1/nonesuch", "", http.StatusNotFound},              // unknown route
 	}
 	for _, c := range cases {
 		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))

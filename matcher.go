@@ -41,7 +41,7 @@ func (m *Matcher) Insert(s string) []int {
 // Query reports the ids of inserted strings within the threshold of s
 // without inserting s.
 func (m *Matcher) Query(s string) []int {
-	ids := m.m.Query(s)
+	ids := m.m.QueryIDs(s)
 	m.cfg.stats.fill()
 	return toInts(ids)
 }

@@ -2,6 +2,7 @@ package passjoin
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"strings"
 	"testing"
@@ -59,6 +60,154 @@ func TestSearcherRoundTripEmpty(t *testing.T) {
 	}
 	if loaded.Len() != 0 || loaded.Tau() != 3 {
 		t.Fatalf("loaded: Len=%d Tau=%d", loaded.Len(), loaded.Tau())
+	}
+}
+
+// writeV1Snapshot emits the legacy corpus-only PJIX v1 format (no frozen
+// section, no checksum), as produced by earlier releases.
+func writeV1Snapshot(tau int, corpus []string) []byte {
+	var buf bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	uv := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		buf.Write(scratch[:n])
+	}
+	buf.WriteString("PJIX")
+	uv(1)
+	uv(uint64(tau))
+	uv(uint64(len(corpus)))
+	for _, s := range corpus {
+		uv(uint64(len(s)))
+		buf.WriteString(s)
+	}
+	return buf.Bytes()
+}
+
+// TestReadSearcherFromV1 loads a legacy v1 snapshot: the index is rebuilt
+// from the corpus and answers match a freshly built searcher.
+func TestReadSearcherFromV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	corpus := testCorpus(rng, 120)
+	blob := writeV1Snapshot(2, corpus)
+	loaded, err := ReadSearcherFrom(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewSearcher(corpus, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Tau() != 2 || loaded.Len() != len(corpus) {
+		t.Fatalf("v1 load: tau=%d len=%d", loaded.Tau(), loaded.Len())
+	}
+	for _, q := range corpus[:40] {
+		a, b := fresh.Search(q), loaded.Search(q)
+		if len(a) != len(b) {
+			t.Fatalf("q=%q: %d hits fresh, %d from v1", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("q=%q hit %d: %+v vs %+v", q, i, a[i], b[i])
+			}
+		}
+	}
+	if _, err := ReadShardedSearcherFrom(bytes.NewReader(blob), WithShards(3)); err != nil {
+		t.Fatalf("sharded reader rejected v1 snapshot: %v", err)
+	}
+}
+
+// TestV2SnapshotCarriesFrozenIndex asserts the cold-start contract: a
+// loaded v2 searcher serves from the deserialized frozen index (visible
+// through FrozenBytes in the stats) rather than re-indexing.
+func TestV2SnapshotCarriesFrozenIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	corpus := testCorpus(rng, 150)
+	orig, err := NewSearcher(corpus, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	loaded, err := ReadSearcherFrom(bytes.NewReader(buf.Bytes()), WithStats(&st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FrozenBytes == 0 || st.FrozenEntries == 0 {
+		t.Fatalf("v2 load did not restore a frozen index: %+v", st)
+	}
+	// IndexBytes tracks the mutable build index, which the cold start must
+	// never have constructed.
+	if st.IndexBytes != 0 {
+		t.Fatalf("v2 load rebuilt the map index: %+v", st)
+	}
+	for _, q := range corpus[:40] {
+		a, b := orig.Search(q), loaded.Search(q)
+		if len(a) != len(b) {
+			t.Fatalf("q=%q: %d hits vs %d", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("q=%q hit %d: %+v vs %+v", q, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotChecksum verifies the CRC32 footer: any corrupted byte in a
+// v2 snapshot must be rejected, as must a truncated one.
+func TestSnapshotChecksum(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	corpus := testCorpus(rng, 60)
+	orig, err := NewSearcher(corpus, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	if _, err := ReadSearcherFrom(bytes.NewReader(blob)); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	// Flip one byte at a spread of offsets, skipping the magic/version
+	// prefix (those fail with format errors before the checksum runs).
+	for off := 6; off < len(blob); off += 1 + len(blob)/97 {
+		bad := append([]byte(nil), blob...)
+		bad[off] ^= 0x20
+		if _, err := ReadSearcherFrom(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corrupted byte at offset %d accepted", off)
+		}
+	}
+	for _, cut := range []int{1, 2, 3, 4, 5, len(blob) / 2} {
+		if _, err := ReadSearcherFrom(bytes.NewReader(blob[:len(blob)-cut])); err == nil {
+			t.Fatalf("snapshot truncated by %d bytes accepted", cut)
+		}
+	}
+	// Corrupting the version byte (v2 -> v1) must not sidestep the
+	// checksum: the trailing frozen section and footer unmask it.
+	relabeled := append([]byte(nil), blob...)
+	relabeled[4] = 1
+	if _, err := ReadSearcherFrom(bytes.NewReader(relabeled)); err == nil {
+		t.Fatal("v2 snapshot relabeled as v1 accepted")
+	}
+	// Same for the corpus-only sharded flavor.
+	ss, err := NewShardedSearcher(corpus, 2, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sbuf bytes.Buffer
+	if _, err := ss.WriteTo(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+	sblob := sbuf.Bytes()
+	bad := append([]byte(nil), sblob...)
+	bad[len(bad)/2] ^= 0x01
+	if _, err := ReadShardedSearcherFrom(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupted sharded snapshot accepted")
 	}
 }
 

@@ -11,9 +11,14 @@ import (
 // the corpus is segment-indexed once, queries probe with multi-match-aware
 // substring selection.
 //
+// Construction builds the mutable segment index and immediately seals it
+// into its frozen CSR form (see docs/ARCHITECTURE.md): queries probe flat
+// hash tables over one contiguous posting arena rather than per-segment Go
+// maps, and Clone shares that arena instead of duplicating map structure.
+//
 // A Searcher is immutable after construction and safe for sequential use;
-// clone one per goroutine for concurrent querying (construction is cheap
-// relative to joining).
+// clone one per goroutine for concurrent querying (cloning is cheap — it
+// allocates only query scratch).
 type Searcher struct {
 	m   *core.Matcher
 	tau int
@@ -39,26 +44,30 @@ func NewSearcher(corpus []string, tau int, opts ...Option) (*Searcher, error) {
 	for _, s := range corpus {
 		m.InsertSilent(s)
 	}
+	m.Seal()
+	cfg.stats.fill()
 	return &Searcher{m: m, tau: tau}, nil
 }
 
 // Tau returns the searcher's threshold.
 func (s *Searcher) Tau() int { return s.tau }
 
-// Clone returns a searcher that shares this one's immutable index but owns
-// its own query scratch state, so clones can Search concurrently from
-// different goroutines (one clone per goroutine).
+// Clone returns a searcher that shares this one's immutable frozen index
+// but owns its own query scratch state, so clones can Search concurrently
+// from different goroutines (one clone per goroutine).
 func (s *Searcher) Clone() *Searcher {
 	return &Searcher{m: s.m.Snapshot(), tau: s.tau}
 }
 
 // Search returns every corpus string within the threshold of q, sorted by
-// ascending distance (ties by corpus index).
+// ascending distance (ties by corpus index). Distances are recovered from
+// the verification pass itself; no separate edit-distance computation runs
+// per hit.
 func (s *Searcher) Search(q string) []Match {
-	ids := s.m.Query(q)
-	out := make([]Match, len(ids))
-	for i, id := range ids {
-		out[i] = Match{ID: int(id), Dist: EditDistance(q, s.m.String(int(id)))}
+	hits := s.m.Query(q)
+	out := make([]Match, len(hits))
+	for i, h := range hits {
+		out[i] = Match{ID: int(h.ID), Dist: int(h.Dist)}
 	}
 	sortMatches(out)
 	return out
@@ -66,17 +75,19 @@ func (s *Searcher) Search(q string) []Match {
 
 // SearchTopK returns the k closest corpus strings to q among those within
 // the threshold, sorted by ascending distance (ties by corpus index).
-// Fewer than k matches are returned when fewer exist within the threshold;
-// k <= 0 returns nil.
+// Matches are filtered through a k-bounded heap, so the cost beyond the
+// probe itself is O(n log k) rather than a full sort. Fewer than k matches
+// are returned when fewer exist within the threshold; k <= 0 returns nil.
 func (s *Searcher) SearchTopK(q string, k int) []Match {
 	if k <= 0 {
 		return nil
 	}
-	out := s.Search(q)
-	if len(out) > k {
-		out = out[:k]
+	hits := s.m.Query(q)
+	out := make([]Match, len(hits))
+	for i, h := range hits {
+		out[i] = Match{ID: int(h.ID), Dist: int(h.Dist)}
 	}
-	return out
+	return topKMatches(out, k)
 }
 
 // Len returns the corpus size.
@@ -84,3 +95,9 @@ func (s *Searcher) Len() int { return s.m.Len() }
 
 // At returns the id-th corpus string.
 func (s *Searcher) At(id int) string { return s.m.String(id) }
+
+// newSearcherFromSealed wraps a matcher already in the sealed phase — the
+// PJIX v2 cold-start path.
+func newSearcherFromSealed(m *core.Matcher, tau int) *Searcher {
+	return &Searcher{m: m, tau: tau}
+}

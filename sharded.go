@@ -31,9 +31,11 @@ type ShardedSearcher struct {
 	total  int
 }
 
-// searchShard is one hash partition: an immutable built index plus a pool
-// of query snapshots (index shared, scratch state owned) so concurrent
-// queries never contend on verifier scratch or dedup stamps.
+// searchShard is one hash partition: an immutable frozen index plus a pool
+// of query snapshots (frozen arena shared, scratch state owned) so
+// concurrent queries never contend on verifier scratch or dedup stamps.
+// The shard's mutable build index is discarded at seal time — every pooled
+// snapshot probes the same contiguous CSR arena.
 type searchShard struct {
 	base *core.Matcher
 	pool sync.Pool
@@ -90,6 +92,7 @@ func NewShardedSearcher(corpus []string, tau int, opts ...Option) (*ShardedSearc
 			for i := s; i < len(corpus); i += n {
 				m.InsertSilent(corpus[i])
 			}
+			m.Seal()
 			sh := &searchShard{base: m}
 			sh.pool.New = func() any { return sh.base.Snapshot() }
 			ss.shards[s] = sh
@@ -170,21 +173,22 @@ func (ss *ShardedSearcher) search(q string, k int) []Match {
 	for _, p := range parts {
 		out = append(out, p...)
 	}
-	sortMatches(out)
-	if k >= 0 && len(out) > k {
-		out = out[:k]
+	if k >= 0 {
+		return topKMatches(out, k)
 	}
+	sortMatches(out)
 	return out
 }
 
 // query runs one shard probe on a pooled snapshot and maps local ids back
-// to global corpus ids.
+// to global corpus ids. Distances come from the probe's verification pass;
+// no per-hit edit-distance recomputation.
 func (sh *searchShard) query(q string, n, s int) []Match {
 	m := sh.acquire()
-	ids := m.Query(q)
-	out := make([]Match, len(ids))
-	for i, id := range ids {
-		out[i] = Match{ID: int(id)*n + s, Dist: EditDistance(q, m.String(int(id)))}
+	hits := m.Query(q)
+	out := make([]Match, len(hits))
+	for i, h := range hits {
+		out[i] = Match{ID: int(h.ID)*n + s, Dist: int(h.Dist)}
 	}
 	sh.release(m)
 	return out

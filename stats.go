@@ -37,6 +37,11 @@ type Stats struct {
 	// (Table 3's metric); IndexEntries is its posting count.
 	IndexBytes   int64
 	IndexEntries int64
+	// FrozenBytes is the exact retained size of the sealed (frozen CSR)
+	// index a Searcher or ShardedSearcher serves from; FrozenEntries is
+	// its posting count. Zero for runs that never seal (joins, Matcher).
+	FrozenBytes   int64
+	FrozenEntries int64
 
 	inner *metrics.Stats
 }
@@ -67,6 +72,8 @@ func (s *Stats) fill() {
 	s.Results = in.Results
 	s.IndexBytes = in.IndexBytes
 	s.IndexEntries = in.IndexEntries
+	s.FrozenBytes = in.FrozenBytes
+	s.FrozenEntries = in.FrozenEntries
 }
 
 // fillMerged aggregates per-shard internal counters into this sink —
@@ -107,5 +114,7 @@ func (s *Stats) String() string {
 		Results:            s.Results,
 		IndexBytes:         s.IndexBytes,
 		IndexEntries:       s.IndexEntries,
+		FrozenBytes:        s.FrozenBytes,
+		FrozenEntries:      s.FrozenEntries,
 	}).String()
 }

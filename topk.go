@@ -1,11 +1,56 @@
 package passjoin
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 
 	"passjoin/internal/core"
 )
+
+// matchLess is the result order shared by Search and SearchTopK: ascending
+// distance, ties by corpus index.
+func matchLess(a, b Match) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// matchMaxHeap is a max-heap on matchLess order — the root is the worst
+// match retained, so it is the one displaced when a better match arrives.
+type matchMaxHeap []Match
+
+func (h matchMaxHeap) Len() int           { return len(h) }
+func (h matchMaxHeap) Less(i, j int) bool { return matchLess(h[j], h[i]) }
+func (h matchMaxHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *matchMaxHeap) Push(x any)        { *h = append(*h, x.(Match)) }
+func (h *matchMaxHeap) Pop() any          { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+// topKMatches returns the k best matches of ms in matchLess order via a
+// k-bounded max-heap: O(n log k) instead of the O(n log n) full sort, which
+// matters when k is far below the match count. ms is consumed (reordered,
+// possibly truncated in place).
+func topKMatches(ms []Match, k int) []Match {
+	if k <= 0 {
+		return nil
+	}
+	if len(ms) <= k {
+		sortMatches(ms)
+		return ms
+	}
+	h := matchMaxHeap(ms[:k])
+	heap.Init(&h)
+	for _, m := range ms[k:] {
+		if matchLess(m, h[0]) {
+			h[0] = m
+			heap.Fix(&h, 0)
+		}
+	}
+	out := []Match(h)
+	sortMatches(out)
+	return out
+}
 
 // PairDist is a join result annotated with its exact edit distance.
 type PairDist struct {
