@@ -506,3 +506,85 @@ func BenchmarkMicroSelfJoinFacade(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDynamicInsert measures the write path of the dynamic searcher:
+// per-insert cost including delta indexing and periodic background
+// compaction, with and without WAL durability (the durable arm pays one
+// appending write syscall per insert).
+func BenchmarkDynamicInsert(b *testing.B) {
+	cs := corpora(b)
+	strs := cs["author"]
+	run := func(b *testing.B, dir string) {
+		var (
+			ds  *passjoin.DynamicSearcher
+			err error
+		)
+		if dir == "" {
+			ds, err = passjoin.NewDynamicSearcher(nil, 2, passjoin.WithShards(4))
+		} else {
+			ds, err = passjoin.OpenDynamicSearcher(dir, nil, 2, passjoin.WithShards(4))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ds.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ds.Insert(strs[i%len(strs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("volatile", func(b *testing.B) { run(b, "") })
+	b.Run("wal", func(b *testing.B) { run(b, b.TempDir()) })
+}
+
+// BenchmarkSearchUnderChurn measures query latency on a dynamic index
+// while a writer goroutine keeps inserting and deleting (forcing delta
+// growth and background compactions) — the serving regime the static
+// BenchmarkShardedSearch cannot exercise.
+func BenchmarkSearchUnderChurn(b *testing.B) {
+	cs := corpora(b)
+	strs := cs["author"]
+	ds, err := passjoin.NewDynamicSearcher(strs, 2,
+		passjoin.WithShards(4), passjoin.WithCompactThreshold(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ds.Close()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id, err := ds.Insert(strs[i%len(strs)])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if i%2 == 0 {
+				ds.Delete(id)
+			}
+			i++
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			ds.Search(strs[i%len(strs)])
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+}

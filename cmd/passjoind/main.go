@@ -4,17 +4,28 @@
 //	passjoind -tau 2 -shards 8 -addr :7878 corpus.txt
 //	passjoind -tau 2 -save idx.pjix corpus.txt      build + snapshot, then serve
 //	passjoind -snapshot idx.pjix                    cold-start from a snapshot
+//	passjoind -tau 2 -wal ./data corpus.txt         durable live-update mode
+//	passjoind -tau 2 -wal ./data                    restart: snapshot + WAL tail
+//	passjoind -tau 2 -dynamic                       volatile live-update mode
 //
-// The corpus file contains one string per line. Endpoints (see
-// internal/server for the full contract):
+// The corpus file contains one string per line. With -wal (durable) or
+// -dynamic (in-memory) the daemon serves a mutable index: documents can be
+// added and deleted over HTTP while queries keep running, a background
+// compactor folds the write tier into the frozen base, and with -wal every
+// mutation is write-ahead-logged so a restart of the same -wal directory
+// recovers the exact live corpus (a corpus argument only seeds a fresh
+// directory). Endpoints (see internal/server for the full contract):
 //
-//	GET  /healthz
-//	GET  /v1/search?q=...&k=...
-//	POST /v1/search   {"query": "...", "k": 5}
-//	POST /v1/batch    {"queries": ["...", ...], "k": 0}
-//	GET  /v1/topk?q=...&k=...
-//	POST /v1/dedup    (text lines in, NDJSON pairs out)
-//	GET  /v1/stats
+//	GET    /healthz
+//	GET    /v1/search?q=...&k=...
+//	POST   /v1/search   {"query": "...", "k": 5}
+//	POST   /v1/batch    {"queries": ["...", ...], "k": 0}
+//	GET    /v1/topk?q=...&k=...
+//	POST   /v1/dedup    (text lines in, NDJSON pairs out)
+//	GET    /v1/stats
+//	POST   /v1/docs     {"doc": "..."}        (mutable modes)
+//	GET    /v1/docs/{id}                      (mutable modes)
+//	DELETE /v1/docs/{id}                      (mutable modes)
 package main
 
 import (
@@ -25,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -41,27 +53,60 @@ func main() {
 	ver := flag.String("verify", "shareprefix", "verification: shareprefix, extension, lengthaware, naive, bitparallel")
 	snapshot := flag.String("snapshot", "", "load the index from this snapshot instead of a corpus file")
 	save := flag.String("save", "", "write a snapshot of the built index to this path")
+	wal := flag.String("wal", "", "serve a durable mutable index rooted at this directory (WAL + base snapshots)")
+	walSync := flag.Bool("wal-sync", false, "fsync every WAL append (power-loss durability; slower writes)")
+	dynamic := flag.Bool("dynamic", false, "serve a volatile mutable index (live adds/deletes, no persistence)")
+	compactEvery := flag.Int("compact-threshold", 0,
+		"per-shard delta size that triggers background compaction (0 = default, negative = manual only; mutable modes)")
 	maxBatch := flag.Int("max-batch", 0, "max queries per batch request (0 = default)")
 	topK := flag.Int("topk", 0, "default k for /v1/topk (0 = default)")
 	flag.Parse()
 
-	if (*snapshot == "") == (flag.NArg() != 1) {
-		fmt.Fprintln(os.Stderr, "usage: passjoind [flags] corpus.txt  (or passjoind -snapshot idx.pjix)")
+	mutable := *wal != "" || *dynamic
+	switch {
+	case mutable && *snapshot != "":
+		fmt.Fprintln(os.Stderr, "passjoind: -snapshot cannot be combined with -wal/-dynamic")
+		os.Exit(2)
+	case mutable && *save != "":
+		// Rejecting this after the build would already have seeded the
+		// -wal directory as a side effect of a failing command.
+		fmt.Fprintln(os.Stderr, "passjoind: -save applies to the static mode only (mutable modes persist via -wal)")
+		os.Exit(2)
+	case mutable && flag.NArg() > 1:
+		fmt.Fprintln(os.Stderr, "usage: passjoind -wal DIR [flags] [corpus.txt]")
+		os.Exit(2)
+	case !mutable && (*snapshot == "") == (flag.NArg() != 1):
+		fmt.Fprintln(os.Stderr, "usage: passjoind [flags] corpus.txt  (or passjoind -snapshot idx.pjix, or passjoind -wal DIR)")
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	var st passjoin.Stats
+	var idx server.Index
+	var dyn *passjoin.DynamicSearcher
+	var err error
 	start := time.Now()
-	idx, err := buildIndex(flag.Arg(0), *snapshot, *tau, *shards, *sel, *ver, &st)
+	if mutable {
+		dyn, err = buildDynamicIndex(flag.Arg(0), *wal, *tau, *shards, *sel, *ver, *compactEvery, *walSync)
+		idx = dyn
+	} else {
+		idx, err = buildIndex(flag.Arg(0), *snapshot, *tau, *shards, *sel, *ver, &st)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "passjoind: indexed %d strings (tau=%d, %d shards) in %v\n",
-		idx.Len(), idx.Tau(), idx.NumShards(), time.Since(start).Round(time.Millisecond))
+	mode := "static"
+	if dyn != nil {
+		mode = "volatile dynamic"
+		if *wal != "" {
+			mode = "durable dynamic (" + *wal + ")"
+		}
+	}
+	fmt.Fprintf(os.Stderr, "passjoind: indexed %d strings (tau=%d, %d shards, %s) in %v\n",
+		idx.Len(), idx.Tau(), idx.NumShards(), mode, time.Since(start).Round(time.Millisecond))
 
 	if *save != "" {
-		if err := writeSnapshot(idx, *save); err != nil {
+		if err := writeSnapshot(idx.(*passjoin.ShardedSearcher), *save); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "passjoind: snapshot written to %s\n", *save)
@@ -85,6 +130,11 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			fatal(err)
+		}
+		if dyn != nil {
+			if err := dyn.Close(); err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Fprintln(os.Stderr, "passjoind: shut down")
 	}
@@ -110,6 +160,38 @@ func buildIndex(corpusPath, snapshotPath string, tau, shards int, sel, ver strin
 		return nil, err
 	}
 	return passjoin.NewShardedSearcher(corpus, tau, opts...)
+}
+
+// buildDynamicIndex opens (or seeds) a mutable index. With walDir set the
+// index is durable: an existing directory is recovered from base
+// snapshots + WAL tails and the corpus file, if given, is ignored with a
+// notice.
+func buildDynamicIndex(corpusPath, walDir string, tau, shards int, sel, ver string, compactThreshold int, walSync bool) (*passjoin.DynamicSearcher, error) {
+	opts, err := indexOptions(shards, sel, ver, nil)
+	if err != nil {
+		return nil, err
+	}
+	if compactThreshold != 0 {
+		opts = append(opts, passjoin.WithCompactThreshold(compactThreshold))
+	}
+	if walSync {
+		opts = append(opts, passjoin.WithWALSync())
+	}
+	var corpus []string
+	if corpusPath != "" {
+		if corpus, err = dataset.LoadFile(corpusPath); err != nil {
+			return nil, err
+		}
+	}
+	if walDir == "" {
+		return passjoin.NewDynamicSearcher(corpus, tau, opts...)
+	}
+	if corpusPath != "" {
+		if _, err := os.Stat(filepath.Join(walDir, "meta.json")); err == nil {
+			fmt.Fprintf(os.Stderr, "passjoind: %s already holds an index; corpus file %s ignored\n", walDir, corpusPath)
+		}
+	}
+	return passjoin.OpenDynamicSearcher(walDir, corpus, tau, opts...)
 }
 
 func indexOptions(shards int, sel, ver string, st *passjoin.Stats) ([]passjoin.Option, error) {

@@ -75,3 +75,74 @@ func TestBuildIndexBadFlags(t *testing.T) {
 		t.Error("missing snapshot accepted")
 	}
 }
+
+func TestBuildDynamicIndexVolatile(t *testing.T) {
+	idx, err := buildDynamicIndex(writeCorpusFile(t), "", 1, 2, "multimatch", "shareprefix", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if idx.Len() != len(corpus) || idx.Tau() != 1 || idx.NumShards() != 2 {
+		t.Fatalf("len=%d tau=%d shards=%d", idx.Len(), idx.Tau(), idx.NumShards())
+	}
+	id, err := idx.Insert("vldbx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := idx.Search("vldb")
+	if len(got) != 4 {
+		t.Fatalf("search after insert: %v", got)
+	}
+	if _, err := idx.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Search("vldb"); len(got) != 3 {
+		t.Fatalf("search after delete: %v", got)
+	}
+}
+
+// TestBuildDynamicIndexDurableRestart seeds a WAL directory from a corpus
+// file, mutates, and reopens the same directory — the daemon restart path.
+func TestBuildDynamicIndexDurableRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	idx, err := buildDynamicIndex(writeCorpusFile(t), dir, 1, 2, "multimatch", "shareprefix", 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Insert("pods"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Delete(0); err != nil { // "vldb"
+		t.Fatal(err)
+	}
+	if err := idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Restart with the same flags (corpus file is ignored now).
+	re, err := buildDynamicIndex(writeCorpusFile(t), dir, 1, 0, "multimatch", "shareprefix", 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumShards() != 2 {
+		t.Fatalf("manifest shard count not honored: %d", re.NumShards())
+	}
+	if re.Len() != len(corpus) { // 6 seed - 1 delete + 1 insert
+		t.Fatalf("recovered Len=%d want %d", re.Len(), len(corpus))
+	}
+	if _, ok := re.Get(0); ok {
+		t.Fatal("deleted seed doc recovered")
+	}
+	if doc, ok := re.Get(len(corpus)); !ok || doc != "pods" {
+		t.Fatalf("inserted doc not recovered: %q %v", doc, ok)
+	}
+}
+
+func TestBuildDynamicIndexBadFlags(t *testing.T) {
+	if _, err := buildDynamicIndex(writeCorpusFile(t), "", 1, 1, "nope", "shareprefix", 0, false); err == nil {
+		t.Error("unknown selection accepted")
+	}
+	if _, err := buildDynamicIndex("/nonexistent/corpus.txt", "", 1, 1, "multimatch", "shareprefix", 0, false); err == nil {
+		t.Error("missing corpus accepted")
+	}
+}

@@ -1,0 +1,370 @@
+package passjoin
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"passjoin/internal/dynamic"
+	"passjoin/internal/metrics"
+)
+
+// DynamicSearcher answers approximate string search queries like
+// ShardedSearcher, but accepts inserts and deletes while serving — the
+// live-update counterpart of the static searchers. Documents get stable
+// global ids from a monotone counter and are hash-partitioned across N
+// shards by id (document g lives in shard g mod N, the same routing the
+// static sharding uses); every shard is a two-tier dynamic index
+// (internal/dynamic): a frozen CSR base swapped atomically by a background
+// compactor, a small mutable delta receiving writes, and a tombstone set
+// hiding deleted documents until the next compaction folds them out.
+//
+// A DynamicSearcher opened with OpenDynamicSearcher is durable: every
+// mutation is appended to a per-shard write-ahead log before it becomes
+// visible, compactions persist the rebuilt base as a snapshot, and
+// reopening the same directory recovers the exact live corpus from
+// snapshot + WAL tail — including after a crash.
+//
+// All methods are safe for concurrent use by any number of goroutines.
+type DynamicSearcher struct {
+	tiers  []*dynamic.Tier
+	tau    int
+	nextID atomic.Int64
+	unlock func() error // releases the directory lock; nil when volatile
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// dynamicMeta is the per-directory manifest that pins the parameters a
+// durable index was created with.
+type dynamicMeta struct {
+	Version int `json:"version"`
+	Tau     int `json:"tau"`
+	Shards  int `json:"shards"`
+}
+
+const dynamicMetaName = "meta.json"
+
+// NewDynamicSearcher creates an in-memory dynamic searcher seeded with
+// corpus (which may be nil to start empty). Corpus document i gets global
+// id i. Updates are not persisted; use OpenDynamicSearcher for
+// durability. Accepts WithShards, WithCompactThreshold, WithSelection and
+// WithVerification.
+func NewDynamicSearcher(corpus []string, tau int, opts ...Option) (*DynamicSearcher, error) {
+	return openDynamic("", corpus, tau, opts)
+}
+
+// OpenDynamicSearcher creates or reopens a durable dynamic searcher
+// rooted at directory dir. A fresh directory is seeded with corpus
+// (document i gets global id i) and records tau and the shard count in a
+// manifest; reopening an existing directory recovers the index from the
+// per-shard base snapshots and WAL tails, ignores corpus, and requires
+// tau (and WithShards, when given) to match the manifest.
+func OpenDynamicSearcher(dir string, corpus []string, tau int, opts ...Option) (*DynamicSearcher, error) {
+	if dir == "" {
+		return nil, errors.New("passjoin: empty dynamic index directory")
+	}
+	return openDynamic(dir, corpus, tau, opts)
+}
+
+func openDynamic(dir string, corpus []string, tau int, opts []Option) (*DynamicSearcher, error) {
+	cfg, err := buildConfig(tau, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	seed := true
+	var unlock func() error
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		// One process per directory: concurrent writers would interleave
+		// WAL records and race snapshot renames.
+		var lerr error
+		if unlock, lerr = dynamic.LockDir(dir); lerr != nil {
+			return nil, lerr
+		}
+		fail := func(err error) (*DynamicSearcher, error) {
+			unlock()
+			return nil, err
+		}
+		metaPath := filepath.Join(dir, dynamicMetaName)
+		if raw, err := os.ReadFile(metaPath); err == nil {
+			var meta dynamicMeta
+			if err := json.Unmarshal(raw, &meta); err != nil {
+				return fail(fmt.Errorf("passjoin: corrupt dynamic manifest %s: %w", metaPath, err))
+			}
+			if meta.Tau != tau {
+				return fail(fmt.Errorf("passjoin: dynamic index at %s was created with tau=%d, not %d", dir, meta.Tau, tau))
+			}
+			if cfg.shards > 0 && meta.Shards != cfg.shards {
+				return fail(fmt.Errorf("passjoin: dynamic index at %s was created with %d shards, not %d", dir, meta.Shards, cfg.shards))
+			}
+			n = meta.Shards
+			seed = false
+		} else if !os.IsNotExist(err) {
+			return fail(err)
+		}
+	}
+
+	ds := &DynamicSearcher{tiers: make([]*dynamic.Tier, n), tau: tau, unlock: unlock}
+	// Every return below this point must not leak what is already open:
+	// tier WAL descriptors and the directory lock.
+	opened := false
+	defer func() {
+		if opened {
+			return
+		}
+		for _, t := range ds.tiers {
+			if t != nil {
+				t.Close()
+			}
+		}
+		if unlock != nil {
+			unlock()
+		}
+	}()
+	for s := 0; s < n; s++ {
+		tcfg := dynamic.Config{
+			Tau:              tau,
+			Selection:        cfg.sel.internal(),
+			Verification:     cfg.ver.internal(),
+			CompactThreshold: cfg.compactThreshold,
+			Fsync:            cfg.walSync,
+		}
+		if dir != "" {
+			tcfg.WALPath = filepath.Join(dir, fmt.Sprintf("shard-%d.wal", s))
+			tcfg.SnapPath = filepath.Join(dir, fmt.Sprintf("shard-%d.snap", s))
+		}
+		t, err := dynamic.Open(tcfg)
+		if err != nil {
+			return nil, err
+		}
+		ds.tiers[s] = t
+	}
+	if seed {
+		// No manifest, so this must be a truly fresh directory: shard
+		// files without one mean a crash interrupted a previous seeding
+		// (the manifest is written last) and silently re-seeding or
+		// adopting the partial state could lose documents.
+		if dir != "" {
+			for s, t := range ds.tiers {
+				if t.MaxID() >= 0 {
+					return nil, fmt.Errorf("passjoin: %s has shard data (shard %d) but no %s — partially initialized index, remove the directory to re-seed", dir, s, dynamicMetaName)
+				}
+			}
+		}
+		for s := 0; s < n; s++ {
+			var gids []int64
+			var docs []string
+			for i := s; i < len(corpus); i += n {
+				gids = append(gids, int64(i))
+				docs = append(docs, corpus[i])
+			}
+			if err := ds.tiers[s].Bootstrap(gids, docs); err != nil {
+				return nil, err
+			}
+		}
+		// The manifest commits the seeding: written only after every
+		// shard bootstrapped successfully.
+		if dir != "" {
+			meta := dynamicMeta{Version: 1, Tau: tau, Shards: n}
+			raw, _ := json.Marshal(meta)
+			if err := os.WriteFile(filepath.Join(dir, dynamicMetaName), raw, 0o644); err != nil {
+				return nil, err
+			}
+		}
+	}
+	next := int64(0)
+	for _, t := range ds.tiers {
+		if m := t.MaxID(); m+1 > next {
+			next = m + 1
+		}
+	}
+	ds.nextID.Store(next)
+	opened = true
+	return ds, nil
+}
+
+// Insert adds doc and returns its stable global id. The document is
+// immediately visible to Search; with durability it is WAL-logged before
+// Insert returns.
+func (ds *DynamicSearcher) Insert(doc string) (int, error) {
+	gid := ds.nextID.Add(1) - 1
+	if err := ds.tiers[gid%int64(len(ds.tiers))].Insert(gid, doc); err != nil {
+		return 0, err
+	}
+	return int(gid), nil
+}
+
+// Delete removes the document with the given id. It reports whether the
+// id named a live document; deleting an absent or already-deleted id is
+// a no-op returning false.
+func (ds *DynamicSearcher) Delete(id int) (bool, error) {
+	if id < 0 {
+		return false, nil
+	}
+	gid := int64(id)
+	return ds.tiers[gid%int64(len(ds.tiers))].Delete(gid)
+}
+
+// Search returns every live document within the threshold of q, sorted
+// by ascending distance (ties by document id).
+func (ds *DynamicSearcher) Search(q string) []Match {
+	return ds.search(q, -1)
+}
+
+// SearchTopK returns the k closest live documents to q among those within
+// the threshold, sorted by ascending distance (ties by document id).
+// k <= 0 returns nil.
+func (ds *DynamicSearcher) SearchTopK(q string, k int) []Match {
+	if k <= 0 {
+		return nil
+	}
+	return ds.search(q, k)
+}
+
+func (ds *DynamicSearcher) search(q string, k int) []Match {
+	n := len(ds.tiers)
+	parts := make([][]dynamic.Hit, n)
+	if n == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for s, t := range ds.tiers {
+			parts[s] = t.Search(q)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for s, t := range ds.tiers {
+			wg.Add(1)
+			go func(s int, t *dynamic.Tier) {
+				defer wg.Done()
+				parts[s] = t.Search(q)
+			}(s, t)
+		}
+		wg.Wait()
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]Match, 0, total)
+	for _, p := range parts {
+		for _, h := range p {
+			out = append(out, Match{ID: int(h.ID), Dist: h.Dist})
+		}
+	}
+	if k >= 0 {
+		return topKMatches(out, k)
+	}
+	sortMatches(out)
+	return out
+}
+
+// Get returns the live document stored under id.
+func (ds *DynamicSearcher) Get(id int) (string, bool) {
+	if id < 0 {
+		return "", false
+	}
+	gid := int64(id)
+	return ds.tiers[gid%int64(len(ds.tiers))].Get(gid)
+}
+
+// At returns the live document stored under id, or "" when the id is
+// unknown or deleted. (Unlike the static searchers, dynamic ids are not
+// dense positions; prefer Get when the distinction matters.)
+func (ds *DynamicSearcher) At(id int) string {
+	doc, _ := ds.Get(id)
+	return doc
+}
+
+// Len returns the number of live documents.
+func (ds *DynamicSearcher) Len() int {
+	total := 0
+	for _, t := range ds.tiers {
+		total += t.Len()
+	}
+	return total
+}
+
+// Tau returns the searcher's threshold.
+func (ds *DynamicSearcher) Tau() int { return ds.tau }
+
+// NumShards returns the number of dynamic shards.
+func (ds *DynamicSearcher) NumShards() int { return len(ds.tiers) }
+
+// Compact synchronously compacts every shard: deltas and tombstones are
+// folded into fresh frozen bases (and, when durable, the base snapshots
+// are rewritten and the WALs truncated to their tails).
+func (ds *DynamicSearcher) Compact() error {
+	for _, t := range ds.tiers {
+		if err := t.Compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns a point-in-time aggregate of the per-shard dynamic
+// counters: live documents, delta sizes, tombstones, compactions, WAL
+// footprint, and the frozen-base figures.
+func (ds *DynamicSearcher) Stats() Stats {
+	merged := &metrics.Stats{}
+	for _, t := range ds.tiers {
+		ts := t.Stats()
+		merged.Add(&metrics.Stats{
+			Strings:       int64(ts.Live),
+			DeltaStrings:  int64(ts.DeltaDocs),
+			Tombstones:    int64(ts.Tombstones),
+			Compactions:   ts.Compactions,
+			WALBytes:      ts.WALBytes,
+			WALRecords:    ts.WALRecords,
+			FrozenBytes:   ts.FrozenBytes,
+			FrozenEntries: ts.FrozenEntries,
+		})
+	}
+	var st Stats
+	st.inner = merged
+	st.fill()
+	return st
+}
+
+// Err returns the most recent background-compaction failure across the
+// shards, if any. A durable index whose compactions fail keeps serving
+// and accepting writes (the WAL still grows), but the condition deserves
+// monitoring — the server surfaces it on /v1/stats.
+func (ds *DynamicSearcher) Err() error {
+	for _, t := range ds.tiers {
+		if err := t.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close waits for in-flight background compactions, syncs and closes the
+// per-shard WALs, releases the directory lock, and surfaces any
+// background-compaction error. The searcher must not be used afterwards.
+func (ds *DynamicSearcher) Close() error {
+	ds.closeOnce.Do(func() {
+		for _, t := range ds.tiers {
+			if err := t.Close(); err != nil && ds.closeErr == nil {
+				ds.closeErr = err
+			}
+		}
+		if ds.unlock != nil {
+			if err := ds.unlock(); err != nil && ds.closeErr == nil {
+				ds.closeErr = err
+			}
+		}
+	})
+	return ds.closeErr
+}

@@ -1,0 +1,41 @@
+package passjoin_test
+
+import (
+	"fmt"
+
+	"passjoin"
+)
+
+// ExampleDynamicSearcher shows the live-update workflow: seed an index,
+// insert and delete documents while querying, and compact the write tier
+// into the frozen base. (OpenDynamicSearcher is the durable variant: same
+// API, rooted at a directory whose WAL + snapshots survive restarts.)
+func ExampleDynamicSearcher() {
+	seed := []string{"vldb", "sigmod", "icde"}
+	ds, err := passjoin.NewDynamicSearcher(seed, 1, passjoin.WithShards(2))
+	if err != nil {
+		panic(err)
+	}
+	defer ds.Close()
+
+	id, err := ds.Insert("pvldb") // immediately searchable
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range ds.Search("vldb") {
+		fmt.Printf("%s (id %d, dist %d)\n", ds.At(m.ID), m.ID, m.Dist)
+	}
+
+	if _, err := ds.Delete(id); err != nil { // tombstoned, hidden at once
+		panic(err)
+	}
+	if err := ds.Compact(); err != nil { // fold delta + tombstones into the base
+		panic(err)
+	}
+	fmt.Printf("after delete: %d matches, %d live docs\n",
+		len(ds.Search("vldb")), ds.Len())
+	// Output:
+	// vldb (id 0, dist 0)
+	// pvldb (id 3, dist 1)
+	// after delete: 1 matches, 3 live docs
+}

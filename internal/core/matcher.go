@@ -98,6 +98,14 @@ func (m *Matcher) Len() int { return len(m.strs) }
 // String returns the id-th inserted string.
 func (m *Matcher) String(id int) string { return m.strs[id] }
 
+// Corpus returns the matcher's backing string slice (element id is the
+// id-th inserted string). The slice is shared, not copied: callers must
+// treat it as read-only. On a mutable matcher the returned prefix stays
+// valid across later Inserts (appends never rewrite existing elements),
+// which is what lets the dynamic tier capture a consistent cut of its
+// delta without copying documents.
+func (m *Matcher) Corpus() []string { return m.strs }
+
 // Seal freezes the matcher's index into the immutable CSR form and drops
 // the map index. Queries keep working (faster); Insert panics afterwards.
 // Sealing twice is a no-op.

@@ -1,0 +1,636 @@
+// Package dynamic adds a write path next to the engine's read path: an
+// LSM-style two-tier index that accepts inserts and deletes while serving
+// queries, with optional durability.
+//
+// A Tier is the unit of mutability (the public DynamicSearcher shards the
+// document space across several):
+//
+//   - The base is a sealed core.Matcher — the frozen CSR index every
+//     static searcher serves from — held behind an atomic.Pointer so the
+//     compactor can swap in a rebuilt base without readers ever observing
+//     a half-built index.
+//   - The delta is a small mutable map-based core.Matcher receiving every
+//     insert. Queries fan out over base + delta and merge.
+//   - Deletes are tombstones: a set of dead global ids filtered out of
+//     both tiers' results. The documents are physically dropped at the
+//     next compaction.
+//   - The compactor re-freezes base+delta into a fresh arena once the
+//     delta crosses a size threshold. The heavy rebuild (and the base
+//     snapshot write, in durable mode) runs outside any lock, so queries
+//     proceed against the old view for the whole build; the final swap
+//     takes the write lock for the pointer store, the delta-tail rebuild
+//     and — in durable mode — one small WAL rewrite (tail records +
+//     fsync + rename), so writers and readers see a brief pause bounded
+//     by the tail size, not the corpus size.
+//
+// Durability is a write-ahead log (wal.go) appended before every mutation
+// plus a base snapshot (snapshot.go) rewritten at each compaction; restart
+// is snapshot + WAL tail. Replay is idempotent per global id, so a crash
+// between the snapshot rename and the WAL rewrite only re-applies
+// operations the snapshot already contains.
+//
+// Concurrency contract: any number of goroutines may call Search/Get
+// concurrently with each other and with Insert/Delete/Compact. Readers
+// share an RWMutex read lock (they never block one another and never wait
+// for a compaction build); mutations and the compactor's swap take the
+// write lock briefly.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"passjoin/internal/core"
+	"passjoin/internal/selection"
+)
+
+// DefaultCompactThreshold is the delta size (documents, live or
+// tombstoned) that triggers a background compaction when Config leaves
+// CompactThreshold at zero.
+const DefaultCompactThreshold = 4096
+
+// Config configures a Tier.
+type Config struct {
+	// Tau is the edit-distance threshold (required, >= 0).
+	Tau int
+	// Selection method for probes; zero value is MultiMatch.
+	Selection selection.Method
+	// Verification algorithm; zero value is VerifyExtensionShared.
+	Verification core.VerifyKind
+	// CompactThreshold is the delta document count that triggers a
+	// background compaction. 0 selects DefaultCompactThreshold; negative
+	// disables automatic compaction (Compact can still be called).
+	CompactThreshold int
+	// WALPath and SnapPath enable durability when non-empty (both must be
+	// set together): mutations append to the WAL, compactions rewrite the
+	// base snapshot, and Open replays snapshot + WAL tail.
+	WALPath  string
+	SnapPath string
+	// Fsync flushes every WAL append to stable storage before the
+	// mutation is acknowledged: durability across power loss, at a
+	// per-operation fsync cost. Without it the WAL survives process
+	// crashes (the kernel has the writes) but not kernel crashes or
+	// power loss.
+	Fsync bool
+}
+
+// Hit is one query result: a global document id and the exact edit
+// distance (<= tau).
+type Hit struct {
+	ID   int64
+	Dist int
+}
+
+// entry locates a live or tombstoned document in the current view.
+type entry struct {
+	pos   int32
+	delta bool
+}
+
+// baseTier is one immutable generation of the frozen base: a sealed
+// matcher, the global id of each of its rows, and a pool of query
+// snapshots (shared arena, private scratch).
+type baseTier struct {
+	m    *core.Matcher
+	ids  []int64
+	pool sync.Pool
+}
+
+func newBaseTier(m *core.Matcher, ids []int64) *baseTier {
+	b := &baseTier{m: m, ids: ids}
+	b.pool.New = func() any { return b.m.Snapshot() }
+	return b
+}
+
+// Tier is a dynamic two-tier index over one shard of the document space.
+type Tier struct {
+	cfg  Config
+	base atomic.Pointer[baseTier]
+
+	mu       sync.RWMutex
+	delta    *core.Matcher
+	deltaIDs []int64
+	byID     map[int64]entry
+	tombs    map[int64]struct{}
+	live     int
+	maxID    int64 // largest gid ever observed; -1 when none
+	wal      *WAL
+	lastErr  error // most recent background-compaction failure
+	closed   bool
+
+	cmu         sync.Mutex // serializes compactions
+	compacting  atomic.Bool
+	compactWG   sync.WaitGroup
+	compactions atomic.Int64
+}
+
+// Stats is a point-in-time summary of a tier's shape.
+type Stats struct {
+	Live          int   // documents visible to queries
+	BaseDocs      int   // rows in the frozen base (including tombstoned)
+	DeltaDocs     int   // rows in the mutable delta (including tombstoned)
+	Tombstones    int   // pending deletes
+	MaxID         int64 // largest global id observed; -1 when none
+	Compactions   int64 // completed compactions
+	WALBytes      int64 // current WAL size (0 without durability)
+	WALRecords    int64 // current WAL record count
+	FrozenBytes   int64 // retained size of the frozen base
+	FrozenEntries int64 // postings in the frozen base
+}
+
+// Open creates or reopens a tier. With durability configured it loads the
+// base snapshot (if present), replays the WAL tail over it, and truncates
+// any torn record; without it the tier starts empty in memory.
+func Open(cfg Config) (*Tier, error) {
+	if cfg.Tau < 0 {
+		return nil, fmt.Errorf("dynamic: negative threshold %d", cfg.Tau)
+	}
+	if (cfg.WALPath == "") != (cfg.SnapPath == "") {
+		return nil, errors.New("dynamic: WALPath and SnapPath must be set together")
+	}
+	if cfg.CompactThreshold == 0 {
+		cfg.CompactThreshold = DefaultCompactThreshold
+	}
+	t := &Tier{
+		cfg:   cfg,
+		byID:  make(map[int64]entry),
+		tombs: make(map[int64]struct{}),
+		maxID: -1,
+	}
+	var err error
+	if t.delta, err = core.NewMatcher(cfg.Tau, cfg.Selection, cfg.Verification, nil); err != nil {
+		return nil, err
+	}
+	if cfg.SnapPath != "" {
+		if err := t.loadSnapshot(cfg.SnapPath); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.WALPath != "" {
+		wal, ops, err := OpenWAL(cfg.WALPath, cfg.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		t.wal = wal
+		for _, op := range ops {
+			t.applyReplayed(op)
+		}
+	}
+	return t, nil
+}
+
+func (t *Tier) loadSnapshot(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // fresh directory: empty base
+		}
+		return err
+	}
+	defer f.Close()
+	gids, corpus, fz, tau, nextID, err := readBaseSnapshot(f)
+	if err != nil {
+		return err
+	}
+	if tau != t.cfg.Tau {
+		return fmt.Errorf("dynamic: snapshot built for tau=%d, tier configured for tau=%d", tau, t.cfg.Tau)
+	}
+	m, err := core.NewSealedMatcher(tau, t.cfg.Selection, t.cfg.Verification, nil, corpus, fz)
+	if err != nil {
+		return err
+	}
+	t.base.Store(newBaseTier(m, gids))
+	for i, gid := range gids {
+		t.byID[gid] = entry{pos: int32(i)}
+		if gid > t.maxID {
+			t.maxID = gid
+		}
+	}
+	if nextID-1 > t.maxID {
+		t.maxID = nextID - 1
+	}
+	t.live = len(gids)
+	return nil
+}
+
+// applyReplayed applies one WAL operation during Open, without re-logging
+// it. Application is idempotent per gid: an add whose id already exists is
+// skipped (the base snapshot may already contain it if a crash landed
+// between the snapshot rename and the WAL rewrite), as is a delete of an
+// absent or already-dead id.
+func (t *Tier) applyReplayed(op Op) {
+	if op.Watermark {
+		if op.ID > t.maxID {
+			t.maxID = op.ID
+		}
+		return
+	}
+	if op.Del {
+		if _, ok := t.byID[op.ID]; !ok {
+			return
+		}
+		if _, dead := t.tombs[op.ID]; dead {
+			return
+		}
+		t.tombs[op.ID] = struct{}{}
+		t.live--
+		return
+	}
+	if _, ok := t.byID[op.ID]; ok {
+		return
+	}
+	t.delta.InsertSilent(op.Doc)
+	t.deltaIDs = append(t.deltaIDs, op.ID)
+	t.byID[op.ID] = entry{pos: int32(len(t.deltaIDs) - 1), delta: true}
+	if op.ID > t.maxID {
+		t.maxID = op.ID
+	}
+	t.live++
+}
+
+// Bootstrap seeds an empty tier with an initial corpus, building the
+// frozen base directly (no per-document WAL traffic) and, when durable,
+// writing the base snapshot. gids must be strictly increasing and
+// len(gids) == len(docs).
+func (t *Tier) Bootstrap(gids []int64, docs []string) error {
+	if len(gids) != len(docs) {
+		return fmt.Errorf("dynamic: %d gids for %d documents", len(gids), len(docs))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return errors.New("dynamic: tier is closed")
+	}
+	if t.base.Load() != nil || t.delta.Len() > 0 || len(t.tombs) > 0 {
+		return errors.New("dynamic: Bootstrap on a non-empty tier")
+	}
+	m, err := t.buildSealed(docs)
+	if err != nil {
+		return err
+	}
+	maxID := int64(-1)
+	if n := len(gids); n > 0 {
+		maxID = gids[n-1]
+	}
+	if t.cfg.SnapPath != "" {
+		if err := writeBaseSnapshot(t.cfg.SnapPath, t.cfg.Tau, maxID+1, gids, docs, m.FrozenIndex()); err != nil {
+			return err
+		}
+		if err := t.wal.Rewrite(nil); err != nil {
+			return err
+		}
+	}
+	t.base.Store(newBaseTier(m, gids))
+	for i, gid := range gids {
+		t.byID[gid] = entry{pos: int32(i)}
+	}
+	if maxID > t.maxID {
+		t.maxID = maxID
+	}
+	t.live = len(gids)
+	return nil
+}
+
+func (t *Tier) buildSealed(docs []string) (*core.Matcher, error) {
+	m, err := core.NewMatcher(t.cfg.Tau, t.cfg.Selection, t.cfg.Verification, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range docs {
+		m.InsertSilent(d)
+	}
+	m.Seal()
+	return m, nil
+}
+
+// Insert adds doc under global id gid. The id must be fresh; the caller
+// (DynamicSearcher) allocates them from a monotone counter. With
+// durability the operation is appended to the WAL before it becomes
+// visible.
+func (t *Tier) Insert(gid int64, doc string) error {
+	if gid < 0 {
+		return fmt.Errorf("dynamic: negative document id %d", gid)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errors.New("dynamic: tier is closed")
+	}
+	if _, dup := t.byID[gid]; dup {
+		t.mu.Unlock()
+		return fmt.Errorf("dynamic: duplicate document id %d", gid)
+	}
+	if t.wal != nil {
+		if err := t.wal.Append(Op{ID: gid, Doc: doc}); err != nil {
+			t.mu.Unlock()
+			return err
+		}
+	}
+	t.delta.InsertSilent(doc)
+	t.deltaIDs = append(t.deltaIDs, gid)
+	t.byID[gid] = entry{pos: int32(len(t.deltaIDs) - 1), delta: true}
+	if gid > t.maxID {
+		t.maxID = gid
+	}
+	t.live++
+	trigger := t.cfg.CompactThreshold > 0 && t.delta.Len() >= t.cfg.CompactThreshold
+	t.mu.Unlock()
+
+	if trigger && t.compacting.CompareAndSwap(false, true) {
+		t.compactWG.Add(1)
+		go func() {
+			defer t.compactWG.Done()
+			defer t.compacting.Store(false)
+			if err := t.Compact(); err != nil {
+				t.mu.Lock()
+				t.lastErr = err
+				t.mu.Unlock()
+			}
+		}()
+	}
+	return nil
+}
+
+// Delete tombstones gid. It reports whether the document existed and was
+// live.
+func (t *Tier) Delete(gid int64) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false, errors.New("dynamic: tier is closed")
+	}
+	if _, ok := t.byID[gid]; !ok {
+		return false, nil
+	}
+	if _, dead := t.tombs[gid]; dead {
+		return false, nil
+	}
+	if t.wal != nil {
+		if err := t.wal.Append(Op{Del: true, ID: gid}); err != nil {
+			return false, err
+		}
+	}
+	t.tombs[gid] = struct{}{}
+	t.live--
+	return true, nil
+}
+
+// Search returns every live document within tau of q as (global id, exact
+// distance), sorted by ascending distance with ties broken by id. It is
+// safe for any number of concurrent callers.
+func (t *Tier) Search(q string) []Hit {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Hit
+	if b := t.base.Load(); b != nil {
+		m := b.pool.Get().(*core.Matcher)
+		for _, h := range m.Query(q) {
+			gid := b.ids[h.ID]
+			if _, dead := t.tombs[gid]; !dead {
+				out = append(out, Hit{ID: gid, Dist: int(h.Dist)})
+			}
+		}
+		b.pool.Put(m)
+	}
+	if t.delta.Len() > 0 {
+		snap := t.delta.Snapshot()
+		for _, h := range snap.Query(q) {
+			gid := t.deltaIDs[h.ID]
+			if _, dead := t.tombs[gid]; !dead {
+				out = append(out, Hit{ID: gid, Dist: int(h.Dist)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Get returns the live document stored under gid.
+func (t *Tier) Get(gid int64) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.byID[gid]
+	if !ok {
+		return "", false
+	}
+	if _, dead := t.tombs[gid]; dead {
+		return "", false
+	}
+	if e.delta {
+		return t.delta.String(int(e.pos)), true
+	}
+	return t.base.Load().m.String(int(e.pos)), true
+}
+
+// Len returns the number of live documents.
+func (t *Tier) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// MaxID returns the largest global id this tier has observed (-1 when
+// none); the parent uses it to restart its id allocator.
+func (t *Tier) MaxID() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.maxID
+}
+
+// Err returns the most recent background-compaction failure, if any.
+func (t *Tier) Err() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lastErr
+}
+
+// Compact folds the delta and the tombstones into a fresh frozen base and
+// swaps it in. The rebuild runs without holding the tier lock — queries
+// and mutations proceed against the old view throughout — and the final
+// swap takes the write lock for the pointer store, the delta-tail
+// rebuild, and (durable mode) the WAL tail rewrite; that pause is
+// proportional to the mutations that raced the rebuild, not to the
+// corpus. Mutations that land during the rebuild stay in the new (small)
+// delta. With durability the new base snapshot is written before the
+// swap, outside the lock.
+func (t *Tier) Compact() error {
+	t.cmu.Lock()
+	defer t.cmu.Unlock()
+
+	// Capture a consistent cut: the current base generation, the delta
+	// prefix, and the tombstones accumulated so far.
+	t.mu.RLock()
+	if t.closed {
+		t.mu.RUnlock()
+		return errors.New("dynamic: tier is closed")
+	}
+	oldBase := t.base.Load()
+	cutLen := t.delta.Len()
+	cutIDs := append([]int64(nil), t.deltaIDs[:cutLen]...)
+	// The corpus prefix is append-only, so this cut stays valid while
+	// concurrent inserts extend the delta behind it — no copying needed.
+	cutDocs := t.delta.Corpus()[:cutLen]
+	cutTombs := make(map[int64]struct{}, len(t.tombs))
+	for gid := range t.tombs {
+		cutTombs[gid] = struct{}{}
+	}
+	maxID := t.maxID
+	t.mu.RUnlock()
+
+	// Rebuild the base from the survivors, outside any lock.
+	var survivors []string
+	var gids []int64
+	if oldBase != nil {
+		baseDocs := oldBase.m.Corpus()
+		for i, gid := range oldBase.ids {
+			if _, dead := cutTombs[gid]; !dead {
+				survivors = append(survivors, baseDocs[i])
+				gids = append(gids, gid)
+			}
+		}
+	}
+	for i, gid := range cutIDs {
+		if _, dead := cutTombs[gid]; !dead {
+			survivors = append(survivors, cutDocs[i])
+			gids = append(gids, gid)
+		}
+	}
+	m, err := t.buildSealed(survivors)
+	if err != nil {
+		return err
+	}
+	nb := newBaseTier(m, gids)
+	if t.cfg.SnapPath != "" {
+		if err := writeBaseSnapshot(t.cfg.SnapPath, t.cfg.Tau, maxID+1, gids, survivors, m.FrozenIndex()); err != nil {
+			return err
+		}
+	}
+
+	// Swap. Everything the cut captured is now in the new base (or was a
+	// tombstone it already folded in); the delta tail — mutations that
+	// raced the rebuild — carries over into a fresh delta. Every fallible
+	// step runs before the first mutation of tier state, so a failure
+	// here leaves the old view fully intact (tombstones included); the
+	// already-renamed base snapshot is harmless because WAL replay is
+	// idempotent against it.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return errors.New("dynamic: tier is closed")
+	}
+	newDelta, err := core.NewMatcher(t.cfg.Tau, t.cfg.Selection, t.cfg.Verification, nil)
+	if err != nil {
+		return err
+	}
+	var newIDs []int64
+	var tailOps []Op
+	// The watermark record pins the id allocator: the snapshot's nextID
+	// hint was taken at the cut, and a document inserted and deleted
+	// during the rebuild leaves no add record behind — without the
+	// watermark, a restart could re-issue its id.
+	if t.maxID >= 0 {
+		tailOps = append(tailOps, Op{Watermark: true, ID: t.maxID})
+	}
+	appliedTail := make(map[int64]struct{})
+	for j := cutLen; j < t.delta.Len(); j++ {
+		gid := t.deltaIDs[j]
+		doc := t.delta.String(j)
+		if _, dead := t.tombs[gid]; dead {
+			// Inserted and deleted while the rebuild ran: the document
+			// exists nowhere else, so the tombstone is fully applied.
+			appliedTail[gid] = struct{}{}
+			continue
+		}
+		newDelta.InsertSilent(doc)
+		newIDs = append(newIDs, gid)
+		tailOps = append(tailOps, Op{ID: gid, Doc: doc})
+	}
+	// Deletes that raced the rebuild target documents now in the new
+	// base; they stay tombstones and must survive a restart.
+	for gid := range t.tombs {
+		if _, cut := cutTombs[gid]; cut {
+			continue
+		}
+		if _, applied := appliedTail[gid]; applied {
+			continue
+		}
+		tailOps = append(tailOps, Op{Del: true, ID: gid})
+	}
+	if t.wal != nil {
+		if err := t.wal.Rewrite(tailOps); err != nil {
+			return err
+		}
+	}
+	for gid := range cutTombs {
+		delete(t.tombs, gid)
+	}
+	for gid := range appliedTail {
+		delete(t.tombs, gid)
+	}
+	t.base.Store(nb)
+	t.delta = newDelta
+	t.deltaIDs = newIDs
+	t.byID = make(map[int64]entry, len(gids)+len(newIDs))
+	for i, gid := range gids {
+		t.byID[gid] = entry{pos: int32(i)}
+	}
+	for i, gid := range newIDs {
+		t.byID[gid] = entry{pos: int32(i), delta: true}
+	}
+	t.compactions.Add(1)
+	return nil
+}
+
+// Stats returns a point-in-time summary.
+func (t *Tier) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	st := Stats{
+		Live:        t.live,
+		DeltaDocs:   t.delta.Len(),
+		Tombstones:  len(t.tombs),
+		MaxID:       t.maxID,
+		Compactions: t.compactions.Load(),
+	}
+	if b := t.base.Load(); b != nil {
+		st.BaseDocs = len(b.ids)
+		if fz := b.m.FrozenIndex(); fz != nil {
+			st.FrozenBytes = fz.Bytes()
+			st.FrozenEntries = fz.Entries()
+		}
+	}
+	if t.wal != nil {
+		st.WALBytes = t.wal.Bytes()
+		st.WALRecords = t.wal.Records()
+	}
+	return st
+}
+
+// Close waits for any in-flight background compaction, syncs and closes
+// the WAL, and marks the tier unusable for further mutation. It returns
+// the last background-compaction error, if any.
+func (t *Tier) Close() error {
+	t.compactWG.Wait()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	err := t.lastErr
+	if t.wal != nil {
+		if werr := t.wal.Close(); err == nil {
+			err = werr
+		}
+	}
+	return err
+}

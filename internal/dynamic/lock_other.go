@@ -1,0 +1,10 @@
+//go:build !unix
+
+package dynamic
+
+// LockDir is a no-op on platforms without flock semantics: single-writer
+// discipline on the durable directory is the operator's responsibility
+// there.
+func LockDir(dir string) (func() error, error) {
+	return func() error { return nil }, nil
+}

@@ -1,0 +1,32 @@
+//go:build unix
+
+package dynamic
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// LockDir takes an exclusive advisory lock on dir (via flock on a .lock
+// file inside it), so two processes cannot serve the same durable index
+// concurrently — interleaved WAL appends and competing snapshot renames
+// would corrupt it silently. The kernel releases the lock automatically
+// when the process dies, so a kill -9 never wedges the directory. The
+// returned function releases the lock.
+func LockDir(dir string) (func() error, error) {
+	path := filepath.Join(dir, ".lock")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK {
+			return nil, fmt.Errorf("dynamic: %s is already in use by another process", dir)
+		}
+		return nil, fmt.Errorf("dynamic: locking %s: %w", dir, err)
+	}
+	return f.Close, nil
+}

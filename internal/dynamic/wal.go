@@ -1,0 +1,314 @@
+package dynamic
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Write-ahead log: the durability layer of the dynamic tier. Every Insert
+// and Delete is appended here before it is applied in memory, so a restart
+// is base snapshot + WAL tail. Compaction folds the log's effects into a
+// fresh snapshot and rewrites the log down to the operations that are not
+// yet in any snapshot.
+//
+// The log is a flat sequence of length-prefixed, CRC-checked records:
+//
+//	uint32-LE payload length | uint32-LE crc32-IEEE of payload | payload
+//
+// payload:
+//
+//	op byte (1 = add, 2 = delete) | uvarint gid | (add only) doc bytes
+//
+// Replay is prefix-greedy: records are applied in order until the first
+// torn or corrupted one, which marks the durable end of the log (a crash
+// mid-append leaves exactly such a tail). Opening for writing truncates
+// the file back to the last whole record so new appends never interleave
+// with garbage.
+
+const (
+	walOpAdd       = 1
+	walOpDelete    = 2
+	walOpWatermark = 3
+
+	// maxWALRecord bounds one record's payload so a corrupted length
+	// prefix cannot force an enormous allocation during replay.
+	maxWALRecord = 1 << 26 // 64 MiB
+)
+
+// Op is one logical WAL operation: an add, a delete, or a watermark. A
+// watermark carries no document — it records the largest global id ever
+// observed, so the id allocator cannot regress after a restart even when
+// the documents that used the highest ids exist in neither the snapshot
+// nor the log (inserted and deleted within one compaction cycle).
+type Op struct {
+	Del       bool
+	Watermark bool
+	ID        int64
+	Doc       string // empty for deletes and watermarks
+}
+
+// WAL is an append-only operation log backed by one file. Methods are not
+// safe for concurrent use; the Tier serializes access under its write lock.
+//
+// The file is opened O_APPEND, so the write offset is always the real end
+// of file: rolling back a torn append is a Truncate, never a Seek. When
+// the on-disk state can no longer be trusted to match the in-memory
+// accounting (a rollback or a log-replacement reopen failed), the WAL
+// marks itself failed and refuses further writes — losing acknowledged
+// operations silently is the one thing a WAL must never do.
+type WAL struct {
+	f       *os.File
+	path    string
+	bytes   int64
+	records int64
+	fsync   bool
+	failed  error
+}
+
+// OpenWAL opens (creating if needed) the log at path, replays every whole
+// record, truncates any torn tail, and returns the replayed operations
+// alongside the writable log positioned for appends. With fsync set,
+// every Append is flushed to stable storage before it is acknowledged
+// (power-loss durability at a per-operation fsync cost); without it the
+// log survives process crashes but not kernel crashes or power loss.
+func OpenWAL(path string, fsync bool) (*WAL, []Op, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	ops, good, err := ReplayWAL(f)
+	if err != nil && !errors.Is(err, ErrWALCorrupt) {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &WAL{f: f, path: path, bytes: good, records: int64(len(ops)), fsync: fsync}, ops, nil
+}
+
+// ErrWALCorrupt marks a log whose tail could not be parsed; everything
+// before the reported offset replayed cleanly.
+var ErrWALCorrupt = errors.New("dynamic: corrupt WAL tail")
+
+// ReplayWAL decodes records from r until EOF or the first damaged record.
+// It returns the decoded operations, the byte offset of the end of the
+// last whole record, and nil on a clean EOF or an error wrapping
+// ErrWALCorrupt when trailing bytes had to be discarded. It never panics,
+// whatever the input.
+func ReplayWAL(r io.Reader) ([]Op, int64, error) {
+	var ops []Op
+	var good int64
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return ops, good, nil
+			}
+			return ops, good, fmt.Errorf("%w: torn record header at offset %d", ErrWALCorrupt, good)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxWALRecord {
+			return ops, good, fmt.Errorf("%w: implausible record length %d at offset %d", ErrWALCorrupt, n, good)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return ops, good, fmt.Errorf("%w: torn record payload at offset %d", ErrWALCorrupt, good)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return ops, good, fmt.Errorf("%w: checksum mismatch at offset %d", ErrWALCorrupt, good)
+		}
+		op, err := decodeOp(payload)
+		if err != nil {
+			return ops, good, fmt.Errorf("%w: %v at offset %d", ErrWALCorrupt, err, good)
+		}
+		ops = append(ops, op)
+		good += int64(8 + n)
+	}
+}
+
+func decodeOp(payload []byte) (Op, error) {
+	kind := payload[0]
+	gid, n := binary.Uvarint(payload[1:])
+	if n <= 0 || gid > 1<<62 {
+		return Op{}, errors.New("bad gid varint")
+	}
+	// Only the canonical (minimal) varint form is valid, so every record
+	// has exactly one byte representation — replay-then-re-encode is the
+	// identity, which the fuzz target checks.
+	var canon [binary.MaxVarintLen64]byte
+	if binary.PutUvarint(canon[:], gid) != n {
+		return Op{}, errors.New("non-canonical gid varint")
+	}
+	rest := payload[1+n:]
+	switch kind {
+	case walOpAdd:
+		return Op{ID: int64(gid), Doc: string(rest)}, nil
+	case walOpDelete:
+		if len(rest) != 0 {
+			return Op{}, errors.New("delete record with trailing bytes")
+		}
+		return Op{Del: true, ID: int64(gid)}, nil
+	case walOpWatermark:
+		if len(rest) != 0 {
+			return Op{}, errors.New("watermark record with trailing bytes")
+		}
+		return Op{Watermark: true, ID: int64(gid)}, nil
+	default:
+		return Op{}, fmt.Errorf("unknown op %d", kind)
+	}
+}
+
+func encodeOp(op Op) []byte {
+	var gidBuf [binary.MaxVarintLen64]byte
+	g := binary.PutUvarint(gidBuf[:], uint64(op.ID))
+	kind := byte(walOpAdd)
+	doc := op.Doc
+	switch {
+	case op.Del:
+		kind = walOpDelete
+		doc = ""
+	case op.Watermark:
+		kind = walOpWatermark
+		doc = ""
+	}
+	payload := make([]byte, 0, 1+g+len(doc))
+	payload = append(payload, kind)
+	payload = append(payload, gidBuf[:g]...)
+	payload = append(payload, doc...)
+
+	rec := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
+	copy(rec[8:], payload)
+	return rec
+}
+
+// Append orders op after every prior record (one write syscall, plus an
+// fsync when the log was opened with fsync). A failed or torn append is
+// rolled back by truncating to the last good offset, so a later Append
+// never lands after garbage; if even the rollback fails the WAL marks
+// itself failed and every subsequent write is refused loudly.
+func (w *WAL) Append(op Op) error {
+	if w.failed != nil {
+		return fmt.Errorf("dynamic: WAL unusable after earlier failure: %w", w.failed)
+	}
+	if op.ID < 0 {
+		return fmt.Errorf("dynamic: negative WAL gid %d", op.ID)
+	}
+	if !op.Del && len(op.Doc) > maxWALRecord-16 {
+		return fmt.Errorf("dynamic: document of %d bytes exceeds WAL record limit", len(op.Doc))
+	}
+	rec := encodeOp(op)
+	if _, err := w.f.Write(rec); err != nil {
+		w.rollbackTo(w.bytes, err)
+		return err
+	}
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			w.rollbackTo(w.bytes, err)
+			return err
+		}
+	}
+	w.bytes += int64(len(rec))
+	w.records++
+	return nil
+}
+
+// rollbackTo discards everything past off after a failed append. The file
+// is O_APPEND, so a successful truncate fully restores the invariant that
+// the next write lands at off; a failed truncate leaves torn bytes on
+// disk, and the WAL refuses all further writes rather than append after
+// them.
+func (w *WAL) rollbackTo(off int64, cause error) {
+	if err := w.f.Truncate(off); err != nil {
+		w.failed = cause
+	}
+}
+
+// Rewrite atomically replaces the log's contents with ops: the compaction
+// step that drops every operation already folded into the base snapshot.
+// The new log is written to a temp file, synced, and renamed over the old
+// one, so a crash leaves either log intact.
+func (w *WAL) Rewrite(ops []Op) error {
+	if w.failed != nil {
+		return fmt.Errorf("dynamic: WAL unusable after earlier failure: %w", w.failed)
+	}
+	dir := filepath.Dir(w.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(w.path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpPath)
+	}
+	var total int64
+	for _, op := range ops {
+		rec := encodeOp(op)
+		if _, err := tmp.Write(rec); err != nil {
+			cleanup()
+			return err
+		}
+		total += int64(len(rec))
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := os.Rename(tmpPath, w.path); err != nil {
+		cleanup()
+		return err
+	}
+	f, err := os.OpenFile(w.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		// The old descriptor now points at the renamed-over (unlinked)
+		// inode: anything appended there would vanish. Refuse all further
+		// writes instead.
+		w.f.Close()
+		w.f = nil
+		w.failed = err
+		return err
+	}
+	w.f.Close()
+	w.f = f
+	w.bytes = total
+	w.records = int64(len(ops))
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (w *WAL) Sync() error {
+	if w.failed != nil {
+		return fmt.Errorf("dynamic: WAL unusable after earlier failure: %w", w.failed)
+	}
+	return w.f.Sync()
+}
+
+// Bytes returns the current log size; Records the current record count.
+func (w *WAL) Bytes() int64   { return w.bytes }
+func (w *WAL) Records() int64 { return w.records }
+
+// Close syncs and closes the log file.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return w.failed
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

@@ -51,6 +51,16 @@ type Stats struct {
 	// when the run never froze an index.
 	FrozenBytes   int64
 	FrozenEntries int64
+	// Dynamic-tier counters (internal/dynamic). DeltaStrings counts
+	// documents held in the mutable delta (live or tombstoned),
+	// Tombstones the deletes pending compaction, Compactions the
+	// completed base rebuilds, and WALBytes/WALRecords the current
+	// write-ahead-log footprint. All zero for static runs.
+	DeltaStrings int64
+	Tombstones   int64
+	Compactions  int64
+	WALBytes     int64
+	WALRecords   int64
 	// PeakLiveGroups is the largest number of simultaneously live length
 	// groups (the paper bounds this by τ+1 for self joins and 2τ+1 for R≠S
 	// joins under the sliding-window scan).
@@ -78,6 +88,11 @@ func (s *Stats) Add(o *Stats) {
 	s.IndexEntries += o.IndexEntries
 	s.FrozenBytes += o.FrozenBytes
 	s.FrozenEntries += o.FrozenEntries
+	s.DeltaStrings += o.DeltaStrings
+	s.Tombstones += o.Tombstones
+	s.Compactions += o.Compactions
+	s.WALBytes += o.WALBytes
+	s.WALRecords += o.WALRecords
 	if o.PeakLiveGroups > s.PeakLiveGroups {
 		s.PeakLiveGroups = o.PeakLiveGroups
 	}
@@ -122,6 +137,11 @@ func (s *Stats) String() string {
 	w("indexEntries", s.IndexEntries)
 	w("frozenBytes", s.FrozenBytes)
 	w("frozenEntries", s.FrozenEntries)
+	w("deltaStrings", s.DeltaStrings)
+	w("tombstones", s.Tombstones)
+	w("compactions", s.Compactions)
+	w("walBytes", s.WALBytes)
+	w("walRecords", s.WALRecords)
 	w("peakGroups", s.PeakLiveGroups)
 	if b.Len() == 0 {
 		return "<empty stats>"

@@ -1,22 +1,31 @@
 // Package server implements the passjoind HTTP serving layer: a
 // concurrent similarity-search service over a sharded Pass-Join index.
 //
-// The server owns a passjoin.ShardedSearcher — the corpus hash-partitioned
-// across N segment indices — and exposes it over HTTP/JSON:
+// The server owns an Index — either the static, immutable
+// passjoin.ShardedSearcher or the mutable passjoin.DynamicSearcher — and
+// exposes it over HTTP/JSON:
 //
-//	GET  /healthz            liveness + index shape
-//	GET  /v1/search?q=...    single lookup (all matches within tau)
-//	POST /v1/search          same, JSON body {"query": "...", "k": 5}
-//	POST /v1/batch           batch lookup {"queries": [...], "k": 0}
-//	GET  /v1/topk?q=...&k=5  k nearest within tau
-//	POST /v1/dedup           streaming self-dedup: text lines in,
-//	                         NDJSON near-duplicate pairs out
-//	GET  /v1/stats           server counters + aggregated index stats
+//	GET    /healthz            liveness + index shape
+//	GET    /v1/search?q=...    single lookup (all matches within tau)
+//	POST   /v1/search          same, JSON body {"query": "...", "k": 5}
+//	POST   /v1/batch           batch lookup {"queries": [...], "k": 0}
+//	GET    /v1/topk?q=...&k=5  k nearest within tau
+//	POST   /v1/dedup           streaming self-dedup: text lines in,
+//	                           NDJSON near-duplicate pairs out
+//	GET    /v1/stats           server counters + aggregated index stats
 //
-// Every lookup fans out to all shards in parallel (inside
-// ShardedSearcher); batch requests additionally run their queries
-// concurrently. All handlers are safe under arbitrary client concurrency
-// — the index is immutable and per-query scratch state is pooled.
+// When the index is mutable (implements MutableIndex), the write path is
+// exposed as well:
+//
+//	POST   /v1/docs            insert {"doc": "..."} → {"id": n}
+//	GET    /v1/docs/{id}       fetch one live document
+//	DELETE /v1/docs/{id}       tombstone a document
+//
+// Every lookup fans out to all shards in parallel (inside the index);
+// batch requests additionally run their queries concurrently. All
+// handlers are safe under arbitrary client concurrency. Requests that hit
+// a known route with an unsupported method receive a JSON 405 carrying an
+// Allow header rather than the mux default.
 package server
 
 import (
@@ -33,6 +42,33 @@ import (
 
 	"passjoin"
 )
+
+// Index is the read contract both searcher kinds satisfy. At returns the
+// document stored under a match id ("" when the id is unknown — dynamic
+// ids may be deleted between a search and the fetch).
+type Index interface {
+	Search(q string) []passjoin.Match
+	SearchTopK(q string, k int) []passjoin.Match
+	Len() int
+	Tau() int
+	NumShards() int
+	At(id int) string
+}
+
+// MutableIndex is the additional write contract of
+// passjoin.DynamicSearcher. Stats must be cheap enough to call per
+// request.
+type MutableIndex interface {
+	Index
+	Insert(doc string) (int, error)
+	Delete(id int) (bool, error)
+	Get(id int) (string, bool)
+	Stats() passjoin.Stats
+	// Err reports the most recent background-compaction failure, if any
+	// — surfaced on /v1/stats so operators see a wedged compactor long
+	// before shutdown.
+	Err() error
+}
 
 // Config bounds request handling; zero values select the defaults.
 type Config struct {
@@ -65,10 +101,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves similarity queries against an immutable sharded index.
-// It implements http.Handler.
+// Server serves similarity queries against a sharded index, and — when
+// the index is mutable — accepts live document inserts and deletes. It
+// implements http.Handler.
 type Server struct {
-	idx   *passjoin.ShardedSearcher
+	idx   Index
+	dyn   MutableIndex // non-nil when idx is mutable
 	stats passjoin.Stats
 	cfg   Config
 	mux   *http.ServeMux
@@ -77,18 +115,22 @@ type Server struct {
 	queries atomic.Int64 // lookups answered across search/batch/topk
 	matches atomic.Int64 // matches returned across those lookups
 	dedups  atomic.Int64 // dedup streams completed
+	inserts atomic.Int64 // documents inserted via /v1/docs
+	deletes atomic.Int64 // documents deleted via /v1/docs/{id}
 }
 
 // New builds a server around idx. indexStats, if non-nil, is the
 // aggregated build-time instrumentation to surface on /v1/stats (pass the
-// sink given to NewShardedSearcher via WithStats).
-func New(idx *passjoin.ShardedSearcher, indexStats *passjoin.Stats, cfg Config) *Server {
+// sink given to the searcher constructor via WithStats); a mutable index
+// reports its own live stats instead.
+func New(idx Index, indexStats *passjoin.Stats, cfg Config) *Server {
 	s := &Server{
 		idx:   idx,
 		cfg:   cfg.withDefaults(),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
+	s.dyn, _ = idx.(MutableIndex)
 	if indexStats != nil {
 		s.stats = *indexStats
 	}
@@ -99,7 +141,37 @@ func New(idx *passjoin.ShardedSearcher, indexStats *passjoin.Stats, cfg Config) 
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("POST /v1/dedup", s.handleDedup)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	allow := map[string]string{
+		"/healthz":   "GET",
+		"/v1/search": "GET, POST",
+		"/v1/batch":  "POST",
+		"/v1/topk":   "GET",
+		"/v1/dedup":  "POST",
+		"/v1/stats":  "GET",
+	}
+	if s.dyn != nil {
+		s.mux.HandleFunc("POST /v1/docs", s.handleInsert)
+		s.mux.HandleFunc("GET /v1/docs/{id}", s.handleGetDoc)
+		s.mux.HandleFunc("DELETE /v1/docs/{id}", s.handleDeleteDoc)
+		allow["/v1/docs"] = "POST"
+		allow["/v1/docs/{id}"] = "GET, DELETE"
+	}
+	// Method-less fallbacks: a wrong-method hit on a known route answers
+	// a JSON 405 with an Allow header instead of the mux default (the
+	// method-specific patterns above are more specific, so they keep
+	// winning for supported methods).
+	for path, methods := range allow {
+		s.mux.HandleFunc(path, methodNotAllowed(methods))
+	}
 	return s
+}
+
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed; allowed: %s", r.Method, allow))
+	}
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -141,19 +213,42 @@ type DedupPair struct {
 	Dist  int    `json:"dist"`
 }
 
+// DocRequest is the body of POST /v1/docs. Doc must be present (an empty
+// string is a valid document).
+type DocRequest struct {
+	Doc *string `json:"doc"`
+}
+
+// DocResponse is the reply to the /v1/docs endpoints.
+type DocResponse struct {
+	ID      int    `json:"id"`
+	Doc     string `json:"doc,omitempty"`
+	Deleted bool   `json:"deleted,omitempty"`
+}
+
 // StatsResponse is the reply to /v1/stats. FrozenBytes is the exact
 // retained size of the frozen (CSR) segment indices actually serving
-// queries, summed across shards; Index carries the full build-time
-// counter set (including the same figure as Index.FrozenBytes).
+// queries, summed across shards; Index carries the full counter set. The
+// Delta*/Tombstones/Compactions/WAL* fields describe the dynamic write
+// path and stay zero for a static index.
 type StatsResponse struct {
 	Strings       int            `json:"strings"`
 	Tau           int            `json:"tau"`
 	Shards        int            `json:"shards"`
+	Mutable       bool           `json:"mutable"`
 	UptimeSeconds float64        `json:"uptime_seconds"`
 	Queries       int64          `json:"queries"`
 	Matches       int64          `json:"matches"`
 	DedupStreams  int64          `json:"dedup_streams"`
+	Inserts       int64          `json:"inserts"`
+	Deletes       int64          `json:"deletes"`
 	FrozenBytes   int64          `json:"frozen_bytes"`
+	DeltaDocs     int64          `json:"delta_docs"`
+	Tombstones    int64          `json:"tombstones"`
+	Compactions   int64          `json:"compactions"`
+	WALBytes      int64          `json:"wal_bytes"`
+	WALRecords    int64          `json:"wal_records"`
+	CompactError  string         `json:"compact_error,omitempty"`
 	Index         passjoin.Stats `json:"index"`
 }
 
@@ -167,6 +262,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"strings": s.idx.Len(),
 		"tau":     s.idx.Tau(),
 		"shards":  s.idx.NumShards(),
+		"mutable": s.dyn != nil,
 	})
 }
 
@@ -269,6 +365,67 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
 }
 
+// handleInsert adds one document to the mutable index. The new id is
+// stable for the life of the index (and across restarts with a WAL).
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req DocRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Doc == nil {
+		writeError(w, http.StatusBadRequest, "missing doc field")
+		return
+	}
+	id, err := s.dyn.Insert(*req.Doc)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.inserts.Add(1)
+	writeJSON(w, http.StatusCreated, DocResponse{ID: id, Doc: *req.Doc})
+}
+
+func (s *Server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	doc, ok := s.dyn.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no live document with id %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, DocResponse{ID: id, Doc: doc})
+}
+
+func (s *Server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	deleted, err := s.dyn.Delete(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if !deleted {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no live document with id %d", id))
+		return
+	}
+	s.deletes.Add(1)
+	writeJSON(w, http.StatusOK, DocResponse{ID: id, Deleted: true})
+}
+
+func pathID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	raw := r.PathValue("id")
+	id, err := strconv.Atoi(raw)
+	if err != nil || id < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid document id %q", raw))
+		return 0, false
+	}
+	return id, true
+}
+
 // handleDedup streams near-duplicate pairs for the uploaded lines as they
 // are discovered: each input line is inserted into an online Matcher and
 // every previously seen line within the threshold is emitted immediately
@@ -338,16 +495,33 @@ func (s *Server) handleDedup(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ist := s.stats
+	var compactErr string
+	if s.dyn != nil {
+		ist = s.dyn.Stats()
+		if err := s.dyn.Err(); err != nil {
+			compactErr = err.Error()
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Strings:       s.idx.Len(),
 		Tau:           s.idx.Tau(),
 		Shards:        s.idx.NumShards(),
+		Mutable:       s.dyn != nil,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Queries:       s.queries.Load(),
 		Matches:       s.matches.Load(),
 		DedupStreams:  s.dedups.Load(),
-		FrozenBytes:   s.stats.FrozenBytes,
-		Index:         s.stats,
+		Inserts:       s.inserts.Load(),
+		Deletes:       s.deletes.Load(),
+		FrozenBytes:   ist.FrozenBytes,
+		DeltaDocs:     ist.DeltaDocs,
+		Tombstones:    ist.Tombstones,
+		Compactions:   ist.Compactions,
+		WALBytes:      ist.WALBytes,
+		WALRecords:    ist.WALRecords,
+		CompactError:  compactErr,
+		Index:         ist,
 	})
 }
 

@@ -349,3 +349,220 @@ func TestBadRequests(t *testing.T) {
 func urlQueryEscape(s string) string {
 	return strings.ReplaceAll(s, " ", "%20")
 }
+
+func newDynamicTestServer(t testing.TB, corpus []string, tau, shards int, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	idx, err := passjoin.NewDynamicSearcher(corpus, tau,
+		passjoin.WithShards(shards), passjoin.WithCompactThreshold(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { idx.Close() })
+	srv := New(idx, nil, cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// TestDocsLifecycle drives the write path end to end: insert, fetch,
+// search sees the doc, delete, 404 afterwards, stats reflect it all.
+func TestDocsLifecycle(t *testing.T) {
+	corpus := testCorpus(t, 50)
+	_, ts := newDynamicTestServer(t, corpus, 2, 2, Config{})
+
+	var created DocResponse
+	if code := postJSON(t, ts.URL+"/v1/docs", map[string]string{"doc": "brand new document"}, &created); code != http.StatusCreated {
+		t.Fatalf("insert status %d", code)
+	}
+	if created.ID < len(corpus) {
+		t.Fatalf("new id %d collides with seed corpus", created.ID)
+	}
+
+	var got DocResponse
+	if code := getJSON(t, fmt.Sprintf("%s/v1/docs/%d", ts.URL, created.ID), &got); code != http.StatusOK {
+		t.Fatalf("get status %d", code)
+	}
+	if got.Doc != "brand new document" {
+		t.Fatalf("get doc %q", got.Doc)
+	}
+
+	var sr SearchResponse
+	if code := getJSON(t, ts.URL+"/v1/search?q="+urlQueryEscape("brand new document"), &sr); code != http.StatusOK {
+		t.Fatalf("search status %d", code)
+	}
+	found := false
+	for _, m := range sr.Matches {
+		if m.ID == created.ID && m.Dist == 0 && m.String == "brand new document" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inserted doc not searchable: %+v", sr.Matches)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/docs/%d", ts.URL, created.ID), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var del DocResponse
+	if err := json.NewDecoder(resp.Body).Decode(&del); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !del.Deleted {
+		t.Fatalf("delete: status %d body %+v", resp.StatusCode, del)
+	}
+
+	// Gone now: GET and a second DELETE both 404.
+	var e errorResponse
+	if code := getJSON(t, fmt.Sprintf("%s/v1/docs/%d", ts.URL, created.ID), &e); code != http.StatusNotFound {
+		t.Fatalf("get after delete: status %d", code)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/docs/%d", ts.URL, created.ID), nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete: status %d", resp.StatusCode)
+	}
+
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if !st.Mutable || st.Inserts != 1 || st.Deletes != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Strings != len(corpus) {
+		t.Fatalf("stats strings=%d want %d", st.Strings, len(corpus))
+	}
+	if st.Tombstones != 1 && st.Compactions == 0 {
+		t.Fatalf("delete visible in neither tombstones nor compactions: %+v", st)
+	}
+	if st.Index.Strings != int64(len(corpus)) {
+		t.Fatalf("live index stats not surfaced: %+v", st.Index)
+	}
+}
+
+func TestDocsBadRequests(t *testing.T) {
+	corpus := testCorpus(t, 30)
+	_, ts := newDynamicTestServer(t, corpus, 2, 2, Config{})
+	var e errorResponse
+	if code := postJSON(t, ts.URL+"/v1/docs", map[string]int{"doc": 3}, &e); code != http.StatusBadRequest {
+		t.Fatalf("non-string doc: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/docs", map[string]string{}, &e); code != http.StatusBadRequest {
+		t.Fatalf("missing doc field: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/docs/notanumber", &e); code != http.StatusBadRequest {
+		t.Fatalf("bad id: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/docs/-4", &e); code != http.StatusBadRequest {
+		t.Fatalf("negative id: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/docs/999999", &e); code != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d", code)
+	}
+}
+
+// TestDocsRoutesAbsentOnStaticIndex: a read-only server must not expose
+// the write path at all.
+func TestDocsRoutesAbsentOnStaticIndex(t *testing.T) {
+	corpus := testCorpus(t, 30)
+	_, ts := newTestServer(t, corpus, 2, 2, Config{})
+	resp, err := http.Post(ts.URL+"/v1/docs", "application/json", strings.NewReader(`{"doc":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("static insert: status %d", resp.StatusCode)
+	}
+}
+
+// TestMethodNotAllowed checks the wrong-method contract on /v1/* routes:
+// 405 status, an Allow header naming the supported methods, and a JSON
+// error body.
+func TestMethodNotAllowed(t *testing.T) {
+	corpus := testCorpus(t, 30)
+	_, ts := newDynamicTestServer(t, corpus, 2, 2, Config{})
+	cases := []struct {
+		method, path string
+		wantAllow    string
+	}{
+		{"DELETE", "/v1/search", "GET, POST"},
+		{"PUT", "/v1/search", "GET, POST"},
+		{"GET", "/v1/batch", "POST"},
+		{"POST", "/v1/topk", "GET"},
+		{"GET", "/v1/dedup", "POST"},
+		{"DELETE", "/v1/stats", "GET"},
+		{"POST", "/healthz", "GET"},
+		{"DELETE", "/v1/docs", "POST"},
+		{"POST", "/v1/docs/7", "GET, DELETE"},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e errorResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d want 405", c.method, c.path, resp.StatusCode)
+			continue
+		}
+		if got := resp.Header.Get("Allow"); got != c.wantAllow {
+			t.Errorf("%s %s: Allow %q want %q", c.method, c.path, got, c.wantAllow)
+		}
+		if decErr != nil || e.Error == "" {
+			t.Errorf("%s %s: non-JSON 405 body (err %v)", c.method, c.path, decErr)
+		}
+	}
+	// Supported methods are unaffected by the fallbacks.
+	var h map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("health status %d", code)
+	}
+	if h["mutable"] != true {
+		t.Fatalf("health: %v", h)
+	}
+}
+
+// TestConcurrentMutation hammers the write and read paths together; most
+// valuable under -race.
+func TestConcurrentMutation(t *testing.T) {
+	corpus := testCorpus(t, 100)
+	_, ts := newDynamicTestServer(t, corpus, 2, 2, Config{})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if g%2 == 0 {
+					var created DocResponse
+					postJSON(t, ts.URL+"/v1/docs", map[string]string{"doc": fmt.Sprintf("doc-%d-%d", g, i)}, &created)
+					if i%3 == 0 {
+						req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/docs/%d", ts.URL, created.ID), nil)
+						resp, err := http.DefaultClient.Do(req)
+						if err == nil {
+							resp.Body.Close()
+						}
+					}
+				} else {
+					var sr SearchResponse
+					getJSON(t, ts.URL+"/v1/search?q="+urlQueryEscape(corpus[(g*31+i)%len(corpus)]), &sr)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -91,11 +91,13 @@ func (v VerificationMethod) internal() core.VerifyKind {
 }
 
 type config struct {
-	sel      SelectionMethod
-	ver      VerificationMethod
-	stats    *Stats
-	parallel int
-	shards   int
+	sel              SelectionMethod
+	ver              VerificationMethod
+	stats            *Stats
+	parallel         int
+	shards           int
+	compactThreshold int
+	walSync          bool
 }
 
 // Option customizes a join or matcher.
@@ -154,6 +156,32 @@ func WithParallelism(n int) Option {
 func WithShards(n int) Option {
 	return func(c *config) error {
 		c.shards = n
+		return nil
+	}
+}
+
+// WithCompactThreshold sets, for NewDynamicSearcher and
+// OpenDynamicSearcher, the per-shard delta size (documents, live or
+// tombstoned) that triggers a background compaction. n == 0 keeps the
+// default (dynamic.DefaultCompactThreshold); n < 0 disables automatic
+// compaction, leaving compaction to explicit Compact calls. Ignored by
+// the static entry points.
+func WithCompactThreshold(n int) Option {
+	return func(c *config) error {
+		c.compactThreshold = n
+		return nil
+	}
+}
+
+// WithWALSync makes OpenDynamicSearcher fsync every write-ahead-log
+// append before the mutation is acknowledged: durability across power
+// loss and kernel crashes, at a per-operation fsync cost. Without it the
+// WAL survives process crashes (the kernel holds the writes) but a
+// machine-level failure can lose operations acknowledged since the last
+// compaction or Close. Ignored by the other entry points.
+func WithWALSync() Option {
+	return func(c *config) error {
+		c.walSync = true
 		return nil
 	}
 }

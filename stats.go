@@ -42,6 +42,15 @@ type Stats struct {
 	// its posting count. Zero for runs that never seal (joins, Matcher).
 	FrozenBytes   int64
 	FrozenEntries int64
+	// Dynamic-index counters, populated by DynamicSearcher.Stats and zero
+	// everywhere else: documents in the mutable deltas (live or
+	// tombstoned), deletes pending compaction, completed compactions, and
+	// the write-ahead-log footprint.
+	DeltaDocs   int64
+	Tombstones  int64
+	Compactions int64
+	WALBytes    int64
+	WALRecords  int64
 
 	inner *metrics.Stats
 }
@@ -74,6 +83,11 @@ func (s *Stats) fill() {
 	s.IndexEntries = in.IndexEntries
 	s.FrozenBytes = in.FrozenBytes
 	s.FrozenEntries = in.FrozenEntries
+	s.DeltaDocs = in.DeltaStrings
+	s.Tombstones = in.Tombstones
+	s.Compactions = in.Compactions
+	s.WALBytes = in.WALBytes
+	s.WALRecords = in.WALRecords
 }
 
 // fillMerged aggregates per-shard internal counters into this sink —
@@ -116,5 +130,10 @@ func (s *Stats) String() string {
 		IndexEntries:       s.IndexEntries,
 		FrozenBytes:        s.FrozenBytes,
 		FrozenEntries:      s.FrozenEntries,
+		DeltaStrings:       s.DeltaDocs,
+		Tombstones:         s.Tombstones,
+		Compactions:        s.Compactions,
+		WALBytes:           s.WALBytes,
+		WALRecords:         s.WALRecords,
 	}).String()
 }
