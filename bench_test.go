@@ -10,6 +10,7 @@ package passjoin_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -291,6 +292,35 @@ func BenchmarkAblationParallel(b *testing.B) {
 				if _, err := core.SelfJoin(strs, core.Options{Tau: 3, Parallel: workers}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamJoinParallel measures the streaming join engine behind
+// SelfJoinEachCtx / the /v1/join endpoints: index once, fan the probe
+// pass out over N workers, deliver pairs through a bounded channel
+// without materializing the result set. Compare against the sequential
+// stream (workers=1) for scaling and against BenchmarkAblationParallel
+// (which materializes and sorts) for the streaming overhead; ns/pair is
+// reported per emitted pair.
+func BenchmarkStreamJoinParallel(b *testing.B) {
+	cs := corpora(b)
+	strs := cs["author"]
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var pairs int64
+			for i := 0; i < b.N; i++ {
+				err := passjoin.SelfJoinEachCtx(context.Background(), strs, 3, func(r, s int) bool {
+					pairs++
+					return true
+				}, passjoin.WithParallelism(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if pairs > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(pairs), "ns/pair")
 			}
 		})
 	}

@@ -2,6 +2,7 @@
 //
 //	passjoin -tau 2 strings.txt                 self join
 //	passjoin -tau 2 r.txt s.txt                 R x S join
+//	passjoin -tau 2 -parallel 8 r.txt s.txt     parallel probe workers (both join kinds)
 //	passjoin -tau 2 -algo edjoin -q 3 in.txt    baseline algorithms
 //
 // Input files contain one string per line. Output is one result pair per
@@ -31,7 +32,7 @@ func main() {
 	sel := flag.String("selection", "multimatch", "pass-join substring selection: multimatch, position, shift, length")
 	ver := flag.String("verify", "shareprefix", "pass-join verification: shareprefix, extension, lengthaware, naive")
 	q := flag.Int("q", 3, "gram length for edjoin/allpairs/partenum")
-	parallel := flag.Int("parallel", 1, "pass-join parallel probe workers (self join only)")
+	parallel := flag.Int("parallel", 1, "pass-join parallel probe workers (self and R×S joins)")
 	quiet := flag.Bool("quiet", false, "suppress result pairs, print summary only")
 	showStats := flag.Bool("stats", false, "print instrumentation counters to stderr")
 	flag.Parse()

@@ -66,3 +66,24 @@ func TestRunJoinParallel(t *testing.T) {
 		t.Errorf("parallel %d pairs vs %d", len(par), len(seq))
 	}
 }
+
+func TestRunJoinParallelTwoSets(t *testing.T) {
+	r := []string{"vldb", "sigmod", "icde"}
+	s := []string{"pvldb", "sigmmod", "icdm", "vldbj"}
+	seq, err := runJoin(r, s, 2, "passjoin", "multimatch", "shareprefix", 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runJoin(r, s, 2, "passjoin", "multimatch", "shareprefix", 2, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("parallel %d pairs vs %d sequential", len(par), len(seq))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("pair %d differs: %v vs %v", i, seq[i], par[i])
+		}
+	}
+}

@@ -22,6 +22,8 @@
 //	POST   /v1/batch    {"queries": ["...", ...], "k": 0}
 //	GET    /v1/topk?q=...&k=...
 //	POST   /v1/dedup    (text lines in, NDJSON pairs out)
+//	POST   /v1/join/self (bulk self join: lines in, NDJSON pair stream out)
+//	POST   /v1/join     (bulk R×S join: two line sections split by a blank line)
 //	GET    /v1/stats
 //	POST   /v1/docs     {"doc": "..."}        (mutable modes)
 //	GET    /v1/docs/{id}                      (mutable modes)
@@ -60,6 +62,7 @@ func main() {
 		"per-shard delta size that triggers background compaction (0 = default, negative = manual only; mutable modes)")
 	maxBatch := flag.Int("max-batch", 0, "max queries per batch request (0 = default)")
 	topK := flag.Int("topk", 0, "default k for /v1/topk (0 = default)")
+	joinMaxBytes := flag.Int64("join-max-bytes", 0, "max body size for the bulk-join endpoints (0 = default 32 MiB)")
 	flag.Parse()
 
 	mutable := *wal != "" || *dynamic
@@ -114,7 +117,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.New(idx, &st, server.Config{MaxBatch: *maxBatch, DefaultTopK: *topK}),
+		Handler: server.New(idx, &st, server.Config{MaxBatch: *maxBatch, DefaultTopK: *topK, MaxJoinBytes: *joinMaxBytes}),
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,55 @@
+package passjoin_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"passjoin"
+)
+
+// SelfJoinEachCtx runs a bulk join that can be cancelled mid-flight and
+// fans the probe pass out over parallel workers. Pairs arrive in no
+// deterministic order under parallelism, so collect and sort when order
+// matters; the callback itself always runs on the calling goroutine.
+func ExampleSelfJoinEachCtx() {
+	strs := []string{"vldb", "pvldb", "sigmod", "sigmmod", "icde", "vldbj"}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel() // a server would cancel when the client disconnects
+
+	var pairs []passjoin.Pair
+	err := passjoin.SelfJoinEachCtx(ctx, strs, 1, func(r, s int) bool {
+		pairs = append(pairs, passjoin.Pair{R: r, S: s})
+		return true
+	}, passjoin.WithParallelism(4))
+	if err != nil {
+		fmt.Println("join stopped:", err)
+		return
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].R != pairs[b].R {
+			return pairs[a].R < pairs[b].R
+		}
+		return pairs[a].S < pairs[b].S
+	})
+	for _, p := range pairs {
+		fmt.Printf("%s ~ %s\n", strs[p.R], strs[p.S])
+	}
+	// Output:
+	// vldb ~ pvldb
+	// vldb ~ vldbj
+	// sigmod ~ sigmmod
+}
+
+// JoinEachCtx is the R×S form: sset is indexed once, then the rset
+// strings are probed by parallel workers under the context.
+func ExampleJoinEachCtx() {
+	queries := []string{"britny spears", "beatles"}
+	catalog := []string{"britney spears", "the beatles", "bright eyes"}
+	_ = passjoin.JoinEachCtx(context.Background(), queries, catalog, 2, func(r, s int) bool {
+		fmt.Printf("%s -> %s\n", queries[r], catalog[s])
+		return true
+	})
+	// Output:
+	// britny spears -> britney spears
+}

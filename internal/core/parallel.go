@@ -1,96 +1,39 @@
 package core
 
-import (
-	"fmt"
-	"sync"
+import "context"
 
-	"passjoin/internal/index"
-	"passjoin/internal/metrics"
-)
+// parallelSelfJoin implements the index-once/probe-parallel mode behind
+// SelfJoin when opt.Parallel > 1: it drains SelfJoinStream into a slice
+// and canonicalizes the order. Building the complete segment index (no
+// eviction) trades the sequential mode's O((τ+1)²) live-index bound for
+// full index residency, buying near-linear probe speedup on multi-core
+// machines; an extension beyond the paper (which is single-threaded).
+// Results and error semantics match the sequential SelfJoin exactly.
+func parallelSelfJoin(strs []string, opt Options) ([]Pair, error) {
+	var out []Pair
+	err := SelfJoinStream(context.Background(), strs, opt, func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	SortPairs(out)
+	return out, nil
+}
 
 // parallelJoin is the R≠S counterpart of parallelSelfJoin: index all of
-// sset once, then probe every rset string read-only from opt.Parallel
-// workers. Results and error semantics match the sequential Join exactly.
+// sset once, probe every rset string from opt.Parallel workers via
+// JoinStream, then sort. Results and error semantics match the sequential
+// Join exactly.
 func parallelJoin(rset, sset []string, opt Options) ([]Pair, error) {
-	if opt.Tau < 0 {
-		return nil, fmt.Errorf("core: negative threshold %d", opt.Tau)
-	}
-	tau := opt.Tau
-	st := opt.Stats
-	sRecs := sortRecs(sset)
-	ref := make([]string, len(sRecs))
-	for i := range sRecs {
-		ref[i] = sRecs[i].s
-	}
-	idx := index.New(tau)
-	var shorts []int32
-	for sid := range sRecs {
-		if len(ref[sid]) >= tau+1 {
-			idx.Add(int32(sid), ref[sid])
-		} else {
-			shorts = append(shorts, int32(sid))
-		}
-	}
-	// The index is complete before any probe starts, so freeze it: workers
-	// probe the immutable CSR arena instead of contending map buckets.
-	fz := idx.Freeze(ref)
-
-	workers := opt.Parallel
-	if workers > len(rset) {
-		workers = maxInt(1, len(rset))
-	}
-	type result struct {
-		pairs []Pair
-		stats metrics.Stats
-	}
-	results := make([]result, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var wst *metrics.Stats
-			if st != nil {
-				wst = &results[w].stats
-			}
-			p := newProber(tau, opt.Selection, opt.Verification, wst, nil, fz, ref)
-			var out []Pair
-			for rid := w; rid < len(rset); rid += workers {
-				r := rset[rid]
-				p.epoch = int32(rid)
-				p.probe(r, len(r)-tau, len(r)+tau)
-				for _, sid := range p.hits {
-					out = append(out, Pair{R: int32(rid), S: sRecs[sid].orig})
-				}
-				for _, sid := range shorts {
-					if absDiff(len(ref[sid]), len(r)) > tau {
-						continue
-					}
-					if p.verifyDirect(ref[sid], r) <= tau {
-						out = append(out, Pair{R: int32(rid), S: sRecs[sid].orig})
-					}
-				}
-				if wst != nil {
-					wst.Strings++
-				}
-			}
-			results[w].pairs = out
-		}(w)
-	}
-	wg.Wait()
-
 	var out []Pair
-	for w := range results {
-		out = append(out, results[w].pairs...)
-		if st != nil {
-			st.Add(&results[w].stats)
-		}
-	}
-	if st != nil {
-		st.Results += int64(len(out))
-		st.ShortStrings += int64(len(shorts))
-		st.IndexBytes = idx.Bytes()
-		st.IndexEntries = idx.Entries()
+	err := JoinStream(context.Background(), rset, sset, opt, func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	SortPairs(out)
 	return out, nil
@@ -101,102 +44,4 @@ func absDiff(a, b int) int {
 		return a - b
 	}
 	return b - a
-}
-
-// parallelSelfJoin implements the index-once/probe-parallel mode: build the
-// complete segment index (no eviction), then probe it read-only from
-// opt.Parallel workers. Each probe only pairs the current string with
-// predecessors in sorted order (maxID filter), which reproduces the
-// sequential visit-in-order semantics exactly.
-//
-// This trades the sequential mode's O((τ+1)²) live-index bound for full
-// index residency, buying near-linear speedup on multi-core machines; an
-// extension beyond the paper (which is single-threaded).
-func parallelSelfJoin(strs []string, opt Options) ([]Pair, error) {
-	recs := sortRecs(strs)
-	n := len(recs)
-	ref := make([]string, n)
-	for i := range recs {
-		ref[i] = recs[i].s
-	}
-	tau := opt.Tau
-	st := opt.Stats
-
-	idx := index.New(tau)
-	var shorts []int32
-	for sid := 0; sid < n; sid++ {
-		if len(ref[sid]) >= tau+1 {
-			idx.Add(int32(sid), ref[sid])
-		} else {
-			shorts = append(shorts, int32(sid))
-		}
-	}
-	// Index-once/probe-parallel means the index is read-only from here on;
-	// freeze it so every worker probes the shared immutable arena.
-	fz := idx.Freeze(ref)
-
-	workers := opt.Parallel
-	if workers > n {
-		workers = maxInt(1, n)
-	}
-	type result struct {
-		pairs []Pair
-		stats metrics.Stats
-	}
-	results := make([]result, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var wst *metrics.Stats
-			if st != nil {
-				wst = &results[w].stats
-			}
-			p := newProber(tau, opt.Selection, opt.Verification, wst, nil, fz, ref)
-			var out []Pair
-			for sid := w; sid < n; sid += workers {
-				s := ref[sid]
-				p.epoch = int32(sid)
-				p.maxID = int32(sid)
-				p.probe(s, len(s)-tau, len(s))
-				for _, rid := range p.hits {
-					out = append(out, normalize(recs[rid].orig, recs[sid].orig))
-				}
-				// Short predecessors within the length window.
-				for _, rid := range shorts {
-					if rid >= int32(sid) {
-						break
-					}
-					if len(ref[rid]) < len(s)-tau {
-						continue
-					}
-					if p.verifyDirect(ref[rid], s) <= tau {
-						out = append(out, normalize(recs[rid].orig, recs[sid].orig))
-					}
-				}
-				if wst != nil {
-					wst.Strings++
-				}
-			}
-			results[w].pairs = out
-		}(w)
-	}
-	wg.Wait()
-
-	var out []Pair
-	for w := range results {
-		out = append(out, results[w].pairs...)
-		if st != nil {
-			st.Add(&results[w].stats)
-		}
-	}
-	if st != nil {
-		st.Results += int64(len(out))
-		st.ShortStrings += int64(len(shorts))
-		st.IndexBytes = idx.Bytes()
-		st.IndexEntries = idx.Entries()
-	}
-	SortPairs(out)
-	return out, nil
 }

@@ -1,0 +1,256 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"passjoin"
+)
+
+func postLines(t *testing.T, url, body string) (*http.Response, func()) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, func() { resp.Body.Close() }
+}
+
+func decodeJoinStream(t *testing.T, resp *http.Response) []JoinPair {
+	t.Helper()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var out []JoinPair
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		var p JoinPair
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, p)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+type pairKey struct{ R, S int }
+
+// The acceptance criterion: /v1/join/self streams the exact pair set that
+// the in-process SelfJoin returns on the same corpus.
+func TestJoinSelfStreamsExactPairSet(t *testing.T) {
+	corpus := testCorpus(t, 400)
+	_, ts := newTestServer(t, corpus, 2, 2, Config{})
+	want, err := passjoin.SelfJoin(corpus, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{1, 4} {
+		resp, closeBody := postLines(t,
+			fmt.Sprintf("%s/v1/join/self?parallel=%d", ts.URL, parallel),
+			strings.Join(corpus, "\n"))
+		got := decodeJoinStream(t, resp)
+		closeBody()
+		if len(got) != len(want) {
+			t.Fatalf("parallel=%d: streamed %d pairs, want %d", parallel, len(got), len(want))
+		}
+		set := make(map[pairKey]JoinPair, len(got))
+		for _, p := range got {
+			set[pairKey{p.R, p.S}] = p
+		}
+		if len(set) != len(want) {
+			t.Fatalf("parallel=%d: duplicate pairs in stream", parallel)
+		}
+		for _, w := range want {
+			p, ok := set[pairKey{w.R, w.S}]
+			if !ok {
+				t.Fatalf("parallel=%d: missing pair (%d,%d)", parallel, w.R, w.S)
+			}
+			if p.Left != corpus[w.R] || p.Right != corpus[w.S] {
+				t.Fatalf("pair (%d,%d): strings %q/%q", w.R, w.S, p.Left, p.Right)
+			}
+			if p.Dist != passjoin.EditDistance(p.Left, p.Right) || p.Dist > 2 {
+				t.Fatalf("pair (%d,%d): dist %d", w.R, w.S, p.Dist)
+			}
+		}
+	}
+}
+
+func TestJoinRSStreamsExactPairSet(t *testing.T) {
+	corpus := testCorpus(t, 300)
+	rset, sset := corpus[:140], corpus[140:]
+	_, ts := newTestServer(t, corpus, 2, 2, Config{})
+	want, err := passjoin.Join(rset, sset, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := strings.Join(rset, "\n") + "\n\n" + strings.Join(sset, "\n")
+	resp, closeBody := postLines(t, ts.URL+"/v1/join?parallel=3", body)
+	got := decodeJoinStream(t, resp)
+	closeBody()
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d pairs, want %d", len(got), len(want))
+	}
+	set := make(map[pairKey]bool, len(got))
+	for _, p := range got {
+		if p.Left != rset[p.R] || p.Right != sset[p.S] {
+			t.Fatalf("pair (%d,%d): strings %q/%q", p.R, p.S, p.Left, p.Right)
+		}
+		set[pairKey{p.R, p.S}] = true
+	}
+	for _, w := range want {
+		if !set[pairKey{w.R, w.S}] {
+			t.Fatalf("missing pair (%d,%d)", w.R, w.S)
+		}
+	}
+}
+
+// A ?tau= override must apply to the join, not the index threshold.
+func TestJoinTauOverride(t *testing.T) {
+	corpus := []string{"kaushik", "kaushik!", "totally-different"}
+	_, ts := newTestServer(t, corpus, 0, 1, Config{})
+	resp, closeBody := postLines(t, ts.URL+"/v1/join/self?tau=1", strings.Join(corpus, "\n"))
+	defer closeBody()
+	got := decodeJoinStream(t, resp)
+	if len(got) != 1 || got[0].R != 0 || got[0].S != 1 || got[0].Dist != 1 {
+		t.Fatalf("got %v, want the single (0,1) pair at dist 1", got)
+	}
+}
+
+func TestJoinStatsCounters(t *testing.T) {
+	corpus := []string{"abc", "abd", "xyz"}
+	_, ts := newTestServer(t, corpus, 1, 1, Config{})
+	resp, closeBody := postLines(t, ts.URL+"/v1/join/self", strings.Join(corpus, "\n"))
+	pairs := decodeJoinStream(t, resp)
+	closeBody()
+	if len(pairs) != 1 {
+		t.Fatalf("pairs: %v", pairs)
+	}
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Joins != 1 || st.JoinPairs != 1 {
+		t.Fatalf("joins=%d join_pairs=%d, want 1/1", st.Joins, st.JoinPairs)
+	}
+}
+
+func TestJoinZeroPairsStillNDJSON(t *testing.T) {
+	corpus := []string{"aaaaaaa", "bbbbbbb"}
+	_, ts := newTestServer(t, corpus, 1, 1, Config{})
+	resp, closeBody := postLines(t, ts.URL+"/v1/join/self", strings.Join(corpus, "\n"))
+	defer closeBody()
+	if got := decodeJoinStream(t, resp); len(got) != 0 {
+		t.Fatalf("got %v, want none", got)
+	}
+}
+
+func TestJoinBadRequests(t *testing.T) {
+	corpus := testCorpus(t, 20)
+	_, ts := newTestServer(t, corpus, 2, 1, Config{})
+	cases := []struct {
+		name, url, body string
+		wantStatus      int
+	}{
+		{"negative tau", "/v1/join/self?tau=-1", "a\nb", http.StatusBadRequest},
+		{"bad tau", "/v1/join/self?tau=x", "a\nb", http.StatusBadRequest},
+		// An unchecked huge tau is a memory bomb (the engine allocates
+		// O(tau)-sized structures) and MaxInt64 overflows tau+1: both must
+		// be rejected up front, not crash the process.
+		{"huge tau", "/v1/join/self?tau=1000000000000", "abc\nabd", http.StatusBadRequest},
+		{"overflow tau", "/v1/join/self?tau=9223372036854775807", "abc\nabd", http.StatusBadRequest},
+		{"negative parallel", "/v1/join/self?parallel=-2", "a\nb", http.StatusBadRequest},
+		{"missing separator", "/v1/join", "a\nb\nc", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, closeBody := postLines(t, ts.URL+c.url, c.body)
+		var e errorResponse
+		err := json.NewDecoder(resp.Body).Decode(&e)
+		closeBody()
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.wantStatus)
+		}
+		if err != nil || e.Error == "" {
+			t.Errorf("%s: missing structured error (err %v)", c.name, err)
+		}
+	}
+}
+
+func TestJoinBodyTooLarge(t *testing.T) {
+	corpus := testCorpus(t, 20)
+	_, ts := newTestServer(t, corpus, 2, 1, Config{MaxJoinBytes: 64})
+	resp, closeBody := postLines(t, ts.URL+"/v1/join/self", strings.Repeat("abcdefgh\n", 64))
+	defer closeBody()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+// The second acceptance criterion: a dropped client connection cancels
+// the underlying join workers. The corpus below is dense (every string
+// within tau of the shared base), so the full join emits ~n²/2 pairs and
+// takes far longer than the bound; the handler must exit almost
+// immediately once the client goes away.
+func TestJoinClientDisconnectCancelsWorkers(t *testing.T) {
+	base := strings.Repeat("kaushik chakrabarti ", 3)
+	corpus := make([]string, 3000)
+	for i := range corpus {
+		b := []byte(base)
+		b[i%len(b)] = byte('a' + i%4)
+		corpus[i] = string(b)
+	}
+	srv, _ := newTestServer(t, corpus[:10], 2, 1, Config{})
+	handlerDone := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		srv.ServeHTTP(w, r)
+		if r.URL.Path == "/v1/join/self" {
+			close(handlerDone)
+		}
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/join/self?tau=3&parallel=2", strings.NewReader(strings.Join(corpus, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Read one streamed pair to be sure the join is underway, then drop
+	// the connection.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("reading first pair: %v", err)
+	}
+	cancel()
+	select {
+	case <-handlerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("join handler still running 10s after client disconnect")
+	}
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Joins != 0 {
+		t.Fatalf("cancelled join was counted as completed (joins=%d)", st.Joins)
+	}
+}

@@ -12,6 +12,10 @@
 //	GET    /v1/topk?q=...&k=5  k nearest within tau
 //	POST   /v1/dedup           streaming self-dedup: text lines in,
 //	                           NDJSON near-duplicate pairs out
+//	POST   /v1/join/self       bulk self join: text lines in, NDJSON
+//	                           pair+distance records streamed out
+//	POST   /v1/join            bulk R×S join: two line sections separated
+//	                           by one blank line, NDJSON records out
 //	GET    /v1/stats           server counters + aggregated index stats
 //
 // When the index is mutable (implements MutableIndex), the write path is
@@ -41,6 +45,7 @@ import (
 	"time"
 
 	"passjoin"
+	"passjoin/internal/verify"
 )
 
 // Index is the read contract both searcher kinds satisfy. At returns the
@@ -80,12 +85,25 @@ type Config struct {
 	// DefaultTopK is the k used by /v1/topk when the request omits it
 	// (default 10).
 	DefaultTopK int
+	// MaxJoinBytes caps the request body of the bulk-join endpoints
+	// /v1/join and /v1/join/self, which hold the uploaded corpus in
+	// memory for the duration of the join (default 32 MiB).
+	MaxJoinBytes int64
 }
 
 const (
 	defaultMaxBatch     = 1024
 	defaultMaxBodyBytes = 8 << 20
 	defaultTopK         = 10
+	defaultMaxJoinBytes = 32 << 20
+	// joinFlushEvery is the pair interval between explicit flushes on a
+	// join stream, so slow joins deliver results while still running.
+	joinFlushEvery = 64
+	// maxJoinTau bounds the ?tau= override on the join endpoints. The
+	// engine allocates O(tau)-sized structures, so an unchecked
+	// attacker-supplied threshold is a memory bomb; no join over lines
+	// capped at 1 MiB can need more than this.
+	maxJoinTau = 1 << 20
 )
 
 func (c Config) withDefaults() Config {
@@ -97,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultTopK <= 0 {
 		c.DefaultTopK = defaultTopK
+	}
+	if c.MaxJoinBytes <= 0 {
+		c.MaxJoinBytes = defaultMaxJoinBytes
 	}
 	return c
 }
@@ -112,11 +133,13 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	queries atomic.Int64 // lookups answered across search/batch/topk
-	matches atomic.Int64 // matches returned across those lookups
-	dedups  atomic.Int64 // dedup streams completed
-	inserts atomic.Int64 // documents inserted via /v1/docs
-	deletes atomic.Int64 // documents deleted via /v1/docs/{id}
+	queries   atomic.Int64 // lookups answered across search/batch/topk
+	matches   atomic.Int64 // matches returned across those lookups
+	dedups    atomic.Int64 // dedup streams completed
+	inserts   atomic.Int64 // documents inserted via /v1/docs
+	deletes   atomic.Int64 // documents deleted via /v1/docs/{id}
+	joins     atomic.Int64 // bulk joins run to completion
+	joinPairs atomic.Int64 // pairs streamed by completed bulk joins
 }
 
 // New builds a server around idx. indexStats, if non-nil, is the
@@ -140,14 +163,18 @@ func New(idx Index, indexStats *passjoin.Stats, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("POST /v1/dedup", s.handleDedup)
+	s.mux.HandleFunc("POST /v1/join/self", s.handleJoinSelf)
+	s.mux.HandleFunc("POST /v1/join", s.handleJoinRS)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	allow := map[string]string{
-		"/healthz":   "GET",
-		"/v1/search": "GET, POST",
-		"/v1/batch":  "POST",
-		"/v1/topk":   "GET",
-		"/v1/dedup":  "POST",
-		"/v1/stats":  "GET",
+		"/healthz":      "GET",
+		"/v1/search":    "GET, POST",
+		"/v1/batch":     "POST",
+		"/v1/topk":      "GET",
+		"/v1/dedup":     "POST",
+		"/v1/join/self": "POST",
+		"/v1/join":      "POST",
+		"/v1/stats":     "GET",
 	}
 	if s.dyn != nil {
 		s.mux.HandleFunc("POST /v1/docs", s.handleInsert)
@@ -213,6 +240,17 @@ type DedupPair struct {
 	Dist  int    `json:"dist"`
 }
 
+// JoinPair is one NDJSON event on the /v1/join and /v1/join/self streams:
+// line R of the first (or only) uploaded section is within the threshold
+// of line S of the second (for self joins, of the same section; R < S).
+type JoinPair struct {
+	R     int    `json:"r"`
+	S     int    `json:"s"`
+	Left  string `json:"left"`
+	Right string `json:"right"`
+	Dist  int    `json:"dist"`
+}
+
 // DocRequest is the body of POST /v1/docs. Doc must be present (an empty
 // string is a valid document).
 type DocRequest struct {
@@ -242,6 +280,8 @@ type StatsResponse struct {
 	DedupStreams  int64          `json:"dedup_streams"`
 	Inserts       int64          `json:"inserts"`
 	Deletes       int64          `json:"deletes"`
+	Joins         int64          `json:"joins"`
+	JoinPairs     int64          `json:"join_pairs"`
 	FrozenBytes   int64          `json:"frozen_bytes"`
 	DeltaDocs     int64          `json:"delta_docs"`
 	Tombstones    int64          `json:"tombstones"`
@@ -446,8 +486,7 @@ func (s *Server) handleDedup(w http.ResponseWriter, r *http.Request) {
 	}
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	sc := lineScanner(w, r, s.cfg.MaxBodyBytes)
 	line := 0
 	wrote := false
 	for sc.Scan() {
@@ -477,12 +516,7 @@ func (s *Server) handleDedup(w http.ResponseWriter, r *http.Request) {
 		// Before the first pair the status code is still ours to set;
 		// after it, a terminal NDJSON error record is the best signal left.
 		if !wrote {
-			status := http.StatusBadRequest
-			var maxErr *http.MaxBytesError
-			if errors.As(err, &maxErr) || errors.Is(err, bufio.ErrTooLong) {
-				status = http.StatusRequestEntityTooLarge
-			}
-			writeError(w, status, "reading body: "+err.Error())
+			writeError(w, scanErrStatus(err), "reading body: "+err.Error())
 		} else {
 			_ = enc.Encode(errorResponse{Error: "stream truncated: " + err.Error()})
 		}
@@ -492,6 +526,163 @@ func (s *Server) handleDedup(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
 	s.dedups.Add(1)
+}
+
+func (s *Server) handleJoinSelf(w http.ResponseWriter, r *http.Request) { s.handleJoin(w, r, true) }
+func (s *Server) handleJoinRS(w http.ResponseWriter, r *http.Request)   { s.handleJoin(w, r, false) }
+
+// handleJoin runs a bulk similarity join over an uploaded corpus and
+// streams the result pairs back as NDJSON while the join is still
+// running. The request body is text lines — one string per line; for the
+// R×S form, the R and S sections are separated by the first blank line
+// (later blank lines count as empty strings). ?tau= overrides the index
+// threshold and ?parallel= the probe worker count (0 or absent =
+// GOMAXPROCS, capped at 4×GOMAXPROCS). The join runs under the request
+// context, so a dropped client connection cancels the probe workers.
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request, self bool) {
+	tau, ok := intParam(w, r, "tau", s.idx.Tau())
+	if !ok {
+		return
+	}
+	if tau < 0 {
+		writeError(w, http.StatusBadRequest, "tau must be non-negative")
+		return
+	}
+	if tau > maxJoinTau {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("tau %d exceeds the maximum %d", tau, maxJoinTau))
+		return
+	}
+	par, ok := intParam(w, r, "parallel", 0)
+	if !ok {
+		return
+	}
+	if par < 0 {
+		writeError(w, http.StatusBadRequest, "parallel must be non-negative")
+		return
+	}
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if limit := 4 * runtime.GOMAXPROCS(0); par > limit {
+		par = limit
+	}
+	rset, sset, ok := s.readJoinBody(w, r, self)
+	if !ok {
+		return
+	}
+
+	ctx := r.Context()
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	// Every emitted pair is within tau by construction, so the tau-banded
+	// verifier recovers its exact distance in O((τ+1)·len) instead of the
+	// full-DP EditDistance; yield runs on this goroutine only, so one
+	// scratch-reusing verifier serves the whole stream.
+	var ver verify.Verifier
+	var pairs int64
+	wrote := false
+	clientGone := false
+	yield := func(ri, si int) bool {
+		left := rset[ri]
+		right := rset[si]
+		if !self {
+			right = sset[si]
+		}
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			wrote = true
+		}
+		p := JoinPair{R: ri, S: si, Left: left, Right: right, Dist: ver.Dist(left, right, tau)}
+		if err := enc.Encode(p); err != nil {
+			clientGone = true // write failed; stop the join
+			return false
+		}
+		pairs++
+		// Flush the first pair immediately, then every joinFlushEvery-th:
+		// clients see output while the join is still running even when the
+		// result set is small.
+		if flusher != nil && pairs%joinFlushEvery == 1 {
+			flusher.Flush()
+		}
+		return true
+	}
+	opts := []passjoin.Option{passjoin.WithParallelism(par)}
+	var err error
+	if self {
+		err = passjoin.SelfJoinEachCtx(ctx, rset, tau, yield, opts...)
+	} else {
+		err = passjoin.JoinEachCtx(ctx, rset, sset, tau, yield, opts...)
+	}
+	if err != nil || clientGone {
+		if ctx.Err() != nil || clientGone {
+			return // client went away; the workers are already cancelled
+		}
+		if !wrote {
+			writeError(w, http.StatusBadRequest, err.Error())
+		} else {
+			_ = enc.Encode(errorResponse{Error: "join failed: " + err.Error()})
+		}
+		return
+	}
+	if !wrote {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	s.joins.Add(1)
+	s.joinPairs.Add(pairs)
+}
+
+// readJoinBody scans a size-capped join upload into its line sections,
+// writing the error response itself on failure. With self set, every
+// line (blank included) is one corpus string; otherwise the first blank
+// line splits the R section from the S section and its absence is a
+// client error.
+func (s *Server) readJoinBody(w http.ResponseWriter, r *http.Request, self bool) (rset, sset []string, ok bool) {
+	sc := lineScanner(w, r, s.cfg.MaxJoinBytes)
+	inS := false
+	for sc.Scan() {
+		line := sc.Text()
+		if !self && !inS && line == "" {
+			inS = true
+			continue
+		}
+		if inS {
+			sset = append(sset, line)
+		} else {
+			rset = append(rset, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		writeError(w, scanErrStatus(err), "reading body: "+err.Error())
+		return nil, nil, false
+	}
+	if !self && !inS {
+		writeError(w, http.StatusBadRequest,
+			"missing blank-line separator between the R and S sections")
+		return nil, nil, false
+	}
+	return rset, sset, true
+}
+
+// lineScanner returns a line scanner over the size-capped request body,
+// shared by the dedup and join uploads (64 KiB initial / 1 MiB max line).
+func lineScanner(w http.ResponseWriter, r *http.Request, limit int64) *bufio.Scanner {
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, limit))
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	return sc
+}
+
+// scanErrStatus maps a body-scan failure to its HTTP status: over the
+// body cap or an overlong line is 413, anything else a client error.
+func scanErrStatus(err error) int {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) || errors.Is(err, bufio.ErrTooLong) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -514,6 +705,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DedupStreams:  s.dedups.Load(),
 		Inserts:       s.inserts.Load(),
 		Deletes:       s.deletes.Load(),
+		Joins:         s.joins.Load(),
+		JoinPairs:     s.joinPairs.Load(),
 		FrozenBytes:   ist.FrozenBytes,
 		DeltaDocs:     ist.DeltaDocs,
 		Tombstones:    ist.Tombstones,

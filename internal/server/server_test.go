@@ -498,6 +498,8 @@ func TestMethodNotAllowed(t *testing.T) {
 		{"GET", "/v1/batch", "POST"},
 		{"POST", "/v1/topk", "GET"},
 		{"GET", "/v1/dedup", "POST"},
+		{"GET", "/v1/join", "POST"},
+		{"GET", "/v1/join/self", "POST"},
 		{"DELETE", "/v1/stats", "GET"},
 		{"POST", "/healthz", "GET"},
 		{"DELETE", "/v1/docs", "POST"},

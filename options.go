@@ -138,8 +138,10 @@ func WithStats(st *Stats) Option {
 }
 
 // WithParallelism enables the index-once/probe-parallel mode with n
-// workers (self joins only; n <= 1 keeps the sequential sliding-window
-// scan).
+// workers for SelfJoin/Join, the streaming SelfJoinEach/JoinEach, and the
+// context-aware SelfJoinEachCtx/JoinEachCtx. n <= 1 keeps the sequential
+// sliding-window scan (except in the Ctx forms, which always run the
+// streaming engine with a single worker).
 func WithParallelism(n int) Option {
 	return func(c *config) error {
 		if n < 0 {
@@ -151,8 +153,8 @@ func WithParallelism(n int) Option {
 }
 
 // WithShards sets the number of index partitions for NewShardedSearcher
-// (ignored by the other entry points, like WithParallelism outside self
-// joins). n <= 0 selects GOMAXPROCS shards.
+// (ignored by the other entry points, like WithParallelism outside the
+// join paths). n <= 0 selects GOMAXPROCS shards.
 func WithShards(n int) Option {
 	return func(c *config) error {
 		c.shards = n

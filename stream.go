@@ -1,6 +1,7 @@
 package passjoin
 
 import (
+	"context"
 	"errors"
 
 	"passjoin/internal/core"
@@ -10,11 +11,17 @@ var errNilYield = errors.New("passjoin: nil yield callback")
 
 // SelfJoinEach streams self-join results to yield as they are found,
 // without materializing the result set — useful when the output is large
-// or when only the first few matches matter. Pairs arrive in scan order
-// (sorted by the longer string's length), not in (R, S) order. yield
-// returning false stops the join early.
+// or when only the first few matches matter. yield returning false stops
+// the join early.
 //
-// The streaming form runs sequentially; WithParallelism is ignored.
+// With WithParallelism(n <= 1) — the default — the join runs the paper's
+// sequential sliding-window scan: pairs arrive in scan order (sorted by
+// the longer string's length) and index memory stays bounded by the
+// (τ+1)² live length groups. With WithParallelism(n > 1) the probe pass
+// fans out over n workers that feed a bounded channel (see
+// SelfJoinEachCtx): pairs then arrive in no deterministic order, but
+// yield is still invoked from the calling goroutine only, so it needs no
+// synchronization in either mode.
 func SelfJoinEach(strs []string, tau int, yield func(r, s int) bool, opts ...Option) error {
 	cfg, err := buildConfig(tau, opts)
 	if err != nil {
@@ -24,15 +31,21 @@ func SelfJoinEach(strs []string, tau int, yield func(r, s int) bool, opts ...Opt
 		return errNilYield
 	}
 	o := cfg.coreOptions(tau)
-	err = core.SelfJoinFunc(strs, o, func(p core.Pair) bool {
-		return yield(int(p.R), int(p.S))
-	})
+	emit := func(p core.Pair) bool { return yield(int(p.R), int(p.S)) }
+	if o.Parallel > 1 {
+		err = core.SelfJoinStream(context.Background(), strs, o, emit)
+	} else {
+		err = core.SelfJoinFunc(strs, o, emit)
+	}
 	cfg.stats.fill()
 	return err
 }
 
 // JoinEach streams R×S join results to yield as they are found. yield's r
 // indexes rset and s indexes sset; returning false stops the join early.
+// Parallelism and ordering semantics match SelfJoinEach: sequential scan
+// order by default, n-worker fan-out with arbitrary order under
+// WithParallelism(n > 1), yield always on the calling goroutine.
 func JoinEach(rset, sset []string, tau int, yield func(r, s int) bool, opts ...Option) error {
 	cfg, err := buildConfig(tau, opts)
 	if err != nil {
@@ -42,7 +55,55 @@ func JoinEach(rset, sset []string, tau int, yield func(r, s int) bool, opts ...O
 		return errNilYield
 	}
 	o := cfg.coreOptions(tau)
-	err = core.JoinFunc(rset, sset, o, func(p core.Pair) bool {
+	emit := func(p core.Pair) bool { return yield(int(p.R), int(p.S)) }
+	if o.Parallel > 1 {
+		err = core.JoinStream(context.Background(), rset, sset, o, emit)
+	} else {
+		err = core.JoinFunc(rset, sset, o, emit)
+	}
+	cfg.stats.fill()
+	return err
+}
+
+// SelfJoinEachCtx is the context-aware form of SelfJoinEach, built for
+// long bulk joins that must be cancellable (server request handling,
+// deadline-bounded jobs). It always runs the index-once/probe-stream
+// engine: the segment index is built over all of strs (full residency —
+// no sliding-window eviction), frozen, and probed by WithParallelism(n)
+// workers (default 1) that emit pairs through a bounded channel with
+// backpressure, so the result set is never materialized.
+//
+// yield runs on the calling goroutine; with n > 1 pairs arrive in no
+// deterministic order. yield returning false stops the join early and
+// returns nil. When ctx is cancelled the probe workers stop promptly
+// (they check between strings) and the error is ctx.Err().
+func SelfJoinEachCtx(ctx context.Context, strs []string, tau int, yield func(r, s int) bool, opts ...Option) error {
+	cfg, err := buildConfig(tau, opts)
+	if err != nil {
+		return err
+	}
+	if yield == nil {
+		return errNilYield
+	}
+	err = core.SelfJoinStream(ctx, strs, cfg.coreOptions(tau), func(p core.Pair) bool {
+		return yield(int(p.R), int(p.S))
+	})
+	cfg.stats.fill()
+	return err
+}
+
+// JoinEachCtx is the context-aware form of JoinEach: sset is indexed once
+// and frozen, then WithParallelism(n) workers stream the rset probes.
+// Cancellation, ordering and early-stop semantics match SelfJoinEachCtx.
+func JoinEachCtx(ctx context.Context, rset, sset []string, tau int, yield func(r, s int) bool, opts ...Option) error {
+	cfg, err := buildConfig(tau, opts)
+	if err != nil {
+		return err
+	}
+	if yield == nil {
+		return errNilYield
+	}
+	err = core.JoinStream(ctx, rset, sset, cfg.coreOptions(tau), func(p core.Pair) bool {
 		return yield(int(p.R), int(p.S))
 	})
 	cfg.stats.fill()

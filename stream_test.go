@@ -1,10 +1,20 @@
 package passjoin
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
 )
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].R != ps[b].R {
+			return ps[a].R < ps[b].R
+		}
+		return ps[a].S < ps[b].S
+	})
+}
 
 func TestSelfJoinEachMatchesSelfJoin(t *testing.T) {
 	rng := rand.New(rand.NewSource(81))
@@ -90,6 +100,155 @@ func TestJoinEachEarlyStop(t *testing.T) {
 	}
 }
 
+// WithParallelism is now honored by the streaming forms: every
+// parallelism level must deliver exactly the sequential pair set.
+func TestSelfJoinEachParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	strs := testCorpus(rng, 250)
+	want, err := SelfJoin(strs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		var got []Pair
+		err := SelfJoinEach(strs, 2, func(r, s int) bool {
+			got = append(got, Pair{R: r, S: s})
+			return true
+		}, WithParallelism(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortPairs(got)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d pairs, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: pair %d: %v vs %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestJoinEachParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	rset := testCorpus(rng, 120)
+	sset := testCorpus(rng, 130)
+	want, err := Join(rset, sset, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Pair
+	err = JoinEach(rset, sset, 2, func(r, s int) bool {
+		got = append(got, Pair{R: r, S: s})
+		return true
+	}, WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortPairs(got)
+	if len(got) != len(want) {
+		t.Fatalf("%d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSelfJoinEachCtxMatchesSelfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	strs := testCorpus(rng, 200)
+	want, err := SelfJoin(strs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		var got []Pair
+		err := SelfJoinEachCtx(context.Background(), strs, 2, func(r, s int) bool {
+			got = append(got, Pair{R: r, S: s})
+			return true
+		}, WithParallelism(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortPairs(got)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d pairs, want %d", workers, len(got), len(want))
+		}
+	}
+}
+
+func TestJoinEachCtxMatchesJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	rset := testCorpus(rng, 100)
+	sset := testCorpus(rng, 110)
+	want, err := Join(rset, sset, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Pair
+	err = JoinEachCtx(context.Background(), rset, sset, 2, func(r, s int) bool {
+		got = append(got, Pair{R: r, S: s})
+		return true
+	}, WithParallelism(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d pairs, want %d", len(got), len(want))
+	}
+}
+
+// Cancelling the context mid-join must stop the stream promptly and
+// surface context.Canceled; the test hangs if the workers never notice.
+func TestSelfJoinEachCtxCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	strs := testCorpus(rng, 400)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	err := SelfJoinEachCtx(ctx, strs, 3, func(r, s int) bool {
+		seen++
+		if seen == 1 {
+			cancel()
+		}
+		return true
+	}, WithParallelism(4))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestJoinEachCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := JoinEachCtx(ctx, []string{"abc"}, []string{"abd"}, 1, func(r, s int) bool {
+		t.Fatal("yield on dead context")
+		return false
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSelfJoinEachCtxEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	strs := testCorpus(rng, 200)
+	seen := 0
+	err := SelfJoinEachCtx(context.Background(), strs, 2, func(r, s int) bool {
+		seen++
+		return seen < 3
+	}, WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 3 {
+		t.Fatalf("early stop delivered %d pairs", seen)
+	}
+}
+
 func TestStreamValidation(t *testing.T) {
 	if err := SelfJoinEach(nil, -1, func(int, int) bool { return true }); err == nil {
 		t.Error("negative tau accepted")
@@ -99,6 +258,15 @@ func TestStreamValidation(t *testing.T) {
 	}
 	if err := JoinEach(nil, nil, 1, nil); err == nil {
 		t.Error("nil yield accepted in JoinEach")
+	}
+	if err := SelfJoinEachCtx(context.Background(), nil, -1, func(int, int) bool { return true }); err == nil {
+		t.Error("negative tau accepted in SelfJoinEachCtx")
+	}
+	if err := SelfJoinEachCtx(context.Background(), nil, 1, nil); err == nil {
+		t.Error("nil yield accepted in SelfJoinEachCtx")
+	}
+	if err := JoinEachCtx(context.Background(), nil, nil, 1, nil); err == nil {
+		t.Error("nil yield accepted in JoinEachCtx")
 	}
 }
 
