@@ -355,6 +355,43 @@ func BenchmarkShardedSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkPerQueryTau measures what the "one index, many thresholds"
+// redesign costs at query time: a τ′=1 probe against an index partitioned
+// for τ=3 (QueryTau tightens the selection windows and verification
+// bounds) versus the same probe against a dedicated τ=1 index. The
+// dedicated index has fewer, longer segments (2 slots instead of 4), so
+// some gap is structural; what matters is that the shared index stays in
+// the same regime while serving every threshold from one arena — holding
+// a dedicated index per threshold costs memory linear in the number of
+// thresholds served.
+func BenchmarkPerQueryTau(b *testing.B) {
+	cs := corpora(b)
+	strs := cs["author"]
+	shared, err := passjoin.NewSearcher(strs, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dedicated, err := passjoin.NewSearcher(strs, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("tau=3/query-tau=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			shared.Search(strs[i%len(strs)], passjoin.QueryTau(1))
+		}
+	})
+	b.Run("tau=1/dedicated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dedicated.Search(strs[i%len(strs)])
+		}
+	})
+	b.Run("tau=3/full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			shared.Search(strs[i%len(strs)])
+		}
+	})
+}
+
 // BenchmarkFrozenVsMapProbe compares the two index representations on the
 // serving read path (the extension beyond the paper that Searcher and
 // passjoind are built on). The "map" arms probe the mutable build index

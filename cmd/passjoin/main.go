@@ -3,10 +3,21 @@
 //	passjoin -tau 2 strings.txt                 self join
 //	passjoin -tau 2 r.txt s.txt                 R x S join
 //	passjoin -tau 2 -parallel 8 r.txt s.txt     parallel probe workers (both join kinds)
+//	passjoin -tau 3 -query-tau 1 strings.txt    join at 1 over an index partitioned for 3
 //	passjoin -tau 2 -algo edjoin -q 3 in.txt    baseline algorithms
 //
 // Input files contain one string per line. Output is one result pair per
 // line: the two (0-based) line numbers and the two strings, tab-separated.
+//
+// -query-tau answers the join at a threshold below -tau using the index
+// partitioned for -tau (exact via the pigeonhole bound) — the CLI
+// counterpart of passjoind's per-request ?tau= parameter, useful for
+// sweeping several thresholds against one partitioning without
+// re-indexing per run. The join runs in search mode: the first set is
+// segment-indexed once and every probe string queries it at -query-tau,
+// fanned over -parallel workers. (-stats counts the probe work only with
+// -parallel 1 — parallel workers query private index snapshots that
+// carry no counter sink.)
 package main
 
 import (
@@ -14,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"passjoin/internal/core"
@@ -32,6 +45,8 @@ func main() {
 	sel := flag.String("selection", "multimatch", "pass-join substring selection: multimatch, position, shift, length")
 	ver := flag.String("verify", "shareprefix", "pass-join verification: shareprefix, extension, lengthaware, naive")
 	q := flag.Int("q", 3, "gram length for edjoin/allpairs/partenum")
+	queryTau := flag.Int("query-tau", -1,
+		"answer the join at this threshold (<= tau) from the index partitioned for -tau; -1 = tau (passjoin only)")
 	parallel := flag.Int("parallel", 1, "pass-join parallel probe workers (self and R×S joins)")
 	quiet := flag.Bool("quiet", false, "suppress result pairs, print summary only")
 	showStats := flag.Bool("stats", false, "print instrumentation counters to stderr")
@@ -56,7 +71,7 @@ func main() {
 
 	st := &metrics.Stats{}
 	start := time.Now()
-	pairs, err := runJoin(strs, sset, *tau, *algo, *sel, *ver, *q, *parallel, st)
+	pairs, err := runJoin(strs, sset, *tau, *queryTau, *algo, *sel, *ver, *q, *parallel, st)
 	if err != nil {
 		fatal(err)
 	}
@@ -80,9 +95,12 @@ func main() {
 	}
 }
 
-func runJoin(strs, sset []string, tau int, algo, sel, ver string, q, parallel int, st *metrics.Stats) ([]core.Pair, error) {
+func runJoin(strs, sset []string, tau, queryTau int, algo, sel, ver string, q, parallel int, st *metrics.Stats) ([]core.Pair, error) {
 	if sset != nil && algo != "passjoin" {
 		return nil, fmt.Errorf("two-set joins are only implemented for -algo passjoin")
+	}
+	if queryTau != -1 && algo != "passjoin" {
+		return nil, fmt.Errorf("-query-tau is only implemented for -algo passjoin")
 	}
 	switch algo {
 	case "passjoin":
@@ -93,6 +111,12 @@ func runJoin(strs, sset []string, tau int, algo, sel, ver string, q, parallel in
 		vk, err := core.ParseVerifyKind(ver)
 		if err != nil {
 			return nil, err
+		}
+		if queryTau != -1 {
+			if queryTau < 0 || queryTau > tau {
+				return nil, fmt.Errorf("-query-tau %d outside [0, %d] (an index partitioned for tau=%d answers only thresholds up to it)", queryTau, tau, tau)
+			}
+			return searchJoin(strs, sset, tau, queryTau, m, vk, parallel, st)
 		}
 		opt := core.Options{Tau: tau, Selection: m, Verification: vk, Stats: st, Parallel: parallel}
 		if sset != nil {
@@ -113,6 +137,75 @@ func runJoin(strs, sset []string, tau int, algo, sel, ver string, q, parallel in
 		return partenum.Join(strs, tau, q, st)
 	}
 	return nil, fmt.Errorf("unknown algorithm %q", algo)
+}
+
+// searchJoin runs the join in search mode for a per-query threshold below
+// the partition threshold: the first set is indexed once at tau and sealed
+// into its frozen form, then every probe string queries it at queryTau —
+// exact by the pigeonhole bound, since queryTau edits destroy at most
+// queryTau of the tau+1 segments. With -parallel > 1 the probes fan out
+// over read-only index snapshots.
+func searchJoin(strs, sset []string, tau, queryTau int, sel selection.Method, vk core.VerifyKind, parallel int, st *metrics.Stats) ([]core.Pair, error) {
+	base, err := core.NewMatcher(tau, sel, vk, st)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range strs {
+		base.InsertSilent(s)
+	}
+	base.Seal()
+
+	self := sset == nil
+	probe := strs
+	if !self {
+		probe = sset
+	}
+	opt := core.QueryOpts{Tau: queryTau}
+	var pairs []core.Pair
+	if parallel <= 1 {
+		// Sequential probes run on the base matcher itself so -stats keeps
+		// counting selection/verification work.
+		for sid, s := range probe {
+			for _, h := range base.QueryOpt(s, opt) {
+				if self && int(h.ID) >= sid {
+					continue // each unordered pair once, never (i, i)
+				}
+				pairs = append(pairs, core.Pair{R: h.ID, S: int32(sid)})
+			}
+		}
+	} else {
+		if parallel > len(probe) && len(probe) > 0 {
+			parallel = len(probe)
+		}
+		parts := make([][]core.Pair, parallel)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < parallel; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				snap := base.Snapshot()
+				for {
+					sid := int(next.Add(1)) - 1
+					if sid >= len(probe) {
+						return
+					}
+					for _, h := range snap.QueryOpt(probe[sid], opt) {
+						if self && int(h.ID) >= sid {
+							continue
+						}
+						parts[w] = append(parts[w], core.Pair{R: h.ID, S: int32(sid)})
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, p := range parts {
+			pairs = append(pairs, p...)
+		}
+	}
+	core.SortPairs(pairs)
+	return pairs, nil
 }
 
 func fatal(err error) {

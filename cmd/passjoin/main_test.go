@@ -13,7 +13,7 @@ func TestRunJoinAllAlgorithms(t *testing.T) {
 	want := len(bruteforce.SelfJoin(corpus, 2))
 	for _, algo := range []string{"passjoin", "edjoin", "allpairs", "triejoin", "partenum"} {
 		st := &metrics.Stats{}
-		pairs, err := runJoin(corpus, nil, 2, algo, "multimatch", "shareprefix", 2, 1, st)
+		pairs, err := runJoin(corpus, nil, 2, -1, algo, "multimatch", "shareprefix", 2, 1, st)
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -26,7 +26,7 @@ func TestRunJoinAllAlgorithms(t *testing.T) {
 func TestRunJoinTwoSets(t *testing.T) {
 	r := []string{"vldb"}
 	s := []string{"pvldb", "icde"}
-	pairs, err := runJoin(r, s, 1, "passjoin", "multimatch", "shareprefix", 2, 1, nil)
+	pairs, err := runJoin(r, s, 1, -1, "passjoin", "multimatch", "shareprefix", 2, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,29 +36,85 @@ func TestRunJoinTwoSets(t *testing.T) {
 }
 
 func TestRunJoinTwoSetsRejectedForBaselines(t *testing.T) {
-	if _, err := runJoin([]string{"a"}, []string{"b"}, 1, "edjoin", "", "", 2, 1, nil); err == nil {
+	if _, err := runJoin([]string{"a"}, []string{"b"}, 1, -1, "edjoin", "", "", 2, 1, nil); err == nil {
 		t.Error("two-set edjoin accepted")
 	}
 }
 
 func TestRunJoinBadFlags(t *testing.T) {
-	if _, err := runJoin(corpus, nil, 1, "nope", "multimatch", "shareprefix", 2, 1, nil); err == nil {
+	if _, err := runJoin(corpus, nil, 1, -1, "nope", "multimatch", "shareprefix", 2, 1, nil); err == nil {
 		t.Error("unknown algo accepted")
 	}
-	if _, err := runJoin(corpus, nil, 1, "passjoin", "nope", "shareprefix", 2, 1, nil); err == nil {
+	if _, err := runJoin(corpus, nil, 1, -1, "passjoin", "nope", "shareprefix", 2, 1, nil); err == nil {
 		t.Error("unknown selection accepted")
 	}
-	if _, err := runJoin(corpus, nil, 1, "passjoin", "multimatch", "nope", 2, 1, nil); err == nil {
+	if _, err := runJoin(corpus, nil, 1, -1, "passjoin", "multimatch", "nope", 2, 1, nil); err == nil {
 		t.Error("unknown verification accepted")
 	}
 }
 
-func TestRunJoinParallel(t *testing.T) {
-	seq, err := runJoin(corpus, nil, 2, "passjoin", "multimatch", "shareprefix", 2, 1, nil)
+func TestRunJoinQueryTau(t *testing.T) {
+	for _, qt := range []int{0, 1, 2} {
+		want, err := runJoin(corpus, nil, qt, -1, "passjoin", "multimatch", "shareprefix", 2, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			got, err := runJoin(corpus, nil, 3, qt, "passjoin", "multimatch", "shareprefix", 2, workers, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("query-tau %d (workers=%d): %d pairs, want %d", qt, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("query-tau %d (workers=%d): pair %d = %v, want %v", qt, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRunJoinQueryTauTwoSets(t *testing.T) {
+	r := []string{"vldb", "sigmod", "icde"}
+	s := []string{"pvldb", "sigmmod", "icdm", "vldbj"}
+	want, err := runJoin(r, s, 1, -1, "passjoin", "multimatch", "shareprefix", 2, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := runJoin(corpus, nil, 2, "passjoin", "multimatch", "shareprefix", 2, 4, nil)
+	got, err := runJoin(r, s, 3, 1, "passjoin", "multimatch", "shareprefix", 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunJoinQueryTauRejected(t *testing.T) {
+	if _, err := runJoin(corpus, nil, 2, 3, "passjoin", "multimatch", "shareprefix", 2, 1, nil); err == nil {
+		t.Error("query-tau above tau accepted")
+	}
+	if _, err := runJoin(corpus, nil, 2, -2, "passjoin", "multimatch", "shareprefix", 2, 1, nil); err == nil {
+		t.Error("negative query-tau accepted")
+	}
+	if _, err := runJoin(corpus, nil, 2, 1, "edjoin", "", "", 2, 1, nil); err == nil {
+		t.Error("query-tau accepted for a baseline algorithm")
+	}
+}
+
+func TestRunJoinParallel(t *testing.T) {
+	seq, err := runJoin(corpus, nil, 2, -1, "passjoin", "multimatch", "shareprefix", 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runJoin(corpus, nil, 2, -1, "passjoin", "multimatch", "shareprefix", 2, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,11 +126,11 @@ func TestRunJoinParallel(t *testing.T) {
 func TestRunJoinParallelTwoSets(t *testing.T) {
 	r := []string{"vldb", "sigmod", "icde"}
 	s := []string{"pvldb", "sigmmod", "icdm", "vldbj"}
-	seq, err := runJoin(r, s, 2, "passjoin", "multimatch", "shareprefix", 2, 1, nil)
+	seq, err := runJoin(r, s, 2, -1, "passjoin", "multimatch", "shareprefix", 2, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := runJoin(r, s, 2, "passjoin", "multimatch", "shareprefix", 2, 4, nil)
+	par, err := runJoin(r, s, 2, -1, "passjoin", "multimatch", "shareprefix", 2, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

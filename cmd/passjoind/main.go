@@ -8,7 +8,11 @@
 //	passjoind -tau 2 -wal ./data                    restart: snapshot + WAL tail
 //	passjoind -tau 2 -dynamic                       volatile live-update mode
 //
-// The corpus file contains one string per line. With -wal (durable) or
+// The corpus file contains one string per line. One index serves every
+// threshold up to its build -tau: the search and batch routes accept a
+// per-request tau (validated against the index threshold), so a single
+// daemon started with a generous -tau answers the whole spectrum below it
+// without holding one index per threshold. With -wal (durable) or
 // -dynamic (in-memory) the daemon serves a mutable index: documents can be
 // added and deleted over HTTP while queries keep running, a background
 // compactor folds the write tier into the frozen base, and with -wal every
@@ -17,10 +21,10 @@
 // directory). Endpoints (see internal/server for the full contract):
 //
 //	GET    /healthz
-//	GET    /v1/search?q=...&k=...
-//	POST   /v1/search   {"query": "...", "k": 5}
-//	POST   /v1/batch    {"queries": ["...", ...], "k": 0}
-//	GET    /v1/topk?q=...&k=...
+//	GET    /v1/search?q=...&k=...&tau=...   (tau <= index tau: per-query threshold)
+//	POST   /v1/search   {"query": "...", "k": 5, "tau": 1}
+//	POST   /v1/batch    {"queries": ["...", ...], "k": 0, "tau": 1}
+//	GET    /v1/topk?q=...&k=...&tau=...
 //	POST   /v1/dedup    (text lines in, NDJSON pairs out)
 //	POST   /v1/join/self (bulk self join: lines in, NDJSON pair stream out)
 //	POST   /v1/join     (bulk R×S join: two line sections split by a blank line)
@@ -173,6 +177,9 @@ func buildDynamicIndex(corpusPath, walDir string, tau, shards int, sel, ver stri
 	opts, err := indexOptions(shards, sel, ver, nil)
 	if err != nil {
 		return nil, err
+	}
+	if compactThreshold < 0 {
+		compactThreshold = -1 // flag help says "negative = manual only"; the library wants exactly -1
 	}
 	if compactThreshold != 0 {
 		opts = append(opts, passjoin.WithCompactThreshold(compactThreshold))

@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"iter"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"passjoin/internal/core"
 	"passjoin/internal/dynamic"
 	"passjoin/internal/metrics"
 )
@@ -218,28 +220,74 @@ func (ds *DynamicSearcher) Delete(id int) (bool, error) {
 	return ds.tiers[gid%int64(len(ds.tiers))].Delete(gid)
 }
 
-// Search returns every live document within the threshold of q, sorted
-// by ascending distance (ties by document id).
-func (ds *DynamicSearcher) Search(q string) []Match {
-	return ds.search(q, -1)
+// Search returns every live document within the threshold of q — the
+// build threshold, or any smaller per-query threshold given with QueryTau
+// — sorted by ascending distance (ties by document id). Safe for
+// concurrent use, including concurrently with Insert/Delete/Compact.
+func (ds *DynamicSearcher) Search(q string, opts ...QueryOption) []Match {
+	qc := resolveQuery(ds.tau, opts)
+	if qc.empty {
+		return nil
+	}
+	return ds.search(q, qc)
 }
 
 // SearchTopK returns the k closest live documents to q among those within
 // the threshold, sorted by ascending distance (ties by document id).
 // k <= 0 returns nil.
+//
+// Deprecated: use Search(q, QueryTopK(k)), which composes with the other
+// per-query options.
 func (ds *DynamicSearcher) SearchTopK(q string, k int) []Match {
-	if k <= 0 {
-		return nil
-	}
-	return ds.search(q, k)
+	return ds.Search(q, QueryTopK(k))
 }
 
-func (ds *DynamicSearcher) search(q string, k int) []Match {
+// SearchSeq streams matches for q tier by tier, in no particular order
+// (use Search for ranked output; with QueryTopK the ranked matches are
+// materialized first and yielded in order). Each shard's base+delta merge
+// is materialized under the shard's read lock before its matches are
+// yielded, so consumers may mutate the index from inside the loop;
+// breaking out of the loop skips the remaining shards entirely. Safe for
+// concurrent use.
+func (ds *DynamicSearcher) SearchSeq(q string, opts ...QueryOption) iter.Seq[Match] {
+	qc := resolveQuery(ds.tau, opts)
+	return func(yield func(Match) bool) {
+		if qc.empty {
+			return
+		}
+		if qc.topk > 0 {
+			for _, m := range ds.search(q, qc) {
+				if !yield(m) {
+					return
+				}
+			}
+			return
+		}
+		remaining := qc.limit // 0 = unlimited
+		for _, t := range ds.tiers {
+			hits := t.SearchOpt(q, core.QueryOpts{Tau: qc.tau, Limit: remaining})
+			for _, h := range hits {
+				if !yield(Match{ID: int(h.ID), Dist: h.Dist}) {
+					return
+				}
+			}
+			if qc.limit > 0 {
+				remaining -= len(hits)
+				if remaining <= 0 {
+					return
+				}
+			}
+		}
+	}
+}
+
+func (ds *DynamicSearcher) search(q string, qc queryConfig) []Match {
 	n := len(ds.tiers)
+	o := qc.coreOpts()
 	parts := make([][]dynamic.Hit, n)
 	if n == 1 || runtime.GOMAXPROCS(0) == 1 {
 		for s, t := range ds.tiers {
-			parts[s] = t.Search(q)
+			parts[s] = t.SearchOpt(q, o)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -247,7 +295,7 @@ func (ds *DynamicSearcher) search(q string, k int) []Match {
 			wg.Add(1)
 			go func(s int, t *dynamic.Tier) {
 				defer wg.Done()
-				parts[s] = t.Search(q)
+				parts[s] = t.SearchOpt(q, o)
 			}(s, t)
 		}
 		wg.Wait()
@@ -262,11 +310,7 @@ func (ds *DynamicSearcher) search(q string, k int) []Match {
 			out = append(out, Match{ID: int(h.ID), Dist: h.Dist})
 		}
 	}
-	if k >= 0 {
-		return topKMatches(out, k)
-	}
-	sortMatches(out)
-	return out
+	return qc.finish(out)
 }
 
 // Get returns the live document stored under id.

@@ -5,11 +5,101 @@ import (
 	"testing"
 
 	"passjoin/internal/bruteforce"
+	"passjoin/internal/selection"
+	"passjoin/internal/verify"
 )
 
 // FuzzSelfJoin differential-tests the full engine against brute force on
 // fuzzer-chosen corpora (newline-separated strings). The seed corpus runs
 // under plain `go test`; use `go test -fuzz=FuzzSelfJoin` for more.
+// FuzzQueryTau differential-tests the per-probe threshold path — the
+// τ′ < τ selection-window and verification-bound math — against a brute
+// force scan: a matcher partitioned for tau must answer QueryOpt at every
+// qtau <= tau exactly, for every selection method and verification kind,
+// in both the mutable (map) and sealed (frozen CSR) phases.
+func FuzzQueryTau(f *testing.F) {
+	f.Add("abc\nabd\nxyz\nabcd", "abd", 2)
+	f.Add("a\n\nb\naa\nab", "ab", 3)
+	f.Add("aaaa\naaab\nbaaa\naabb", "aaba", 3)
+	f.Add("kaushik chakrab\ncaushik chakrabar\nkaushuk chakrabar", "kaushik chakrabarti", 4)
+	f.Fuzz(func(t *testing.T, blob, q string, tau int) {
+		if tau < 0 || tau > 4 || len(blob) > 400 || len(q) > 60 {
+			t.Skip()
+		}
+		strs := strings.Split(blob, "\n")
+		if len(strs) > 30 {
+			t.Skip()
+		}
+		// Ground truth per query threshold: exact thresholded distances.
+		var v verify.Verifier
+		want := make([]map[int32]int32, tau+1)
+		for qt := 0; qt <= tau; qt++ {
+			want[qt] = make(map[int32]int32)
+			for id, r := range strs {
+				if d := v.Dist(r, q, qt); d <= qt {
+					want[qt][int32(id)] = int32(d)
+				}
+			}
+		}
+		type combo struct {
+			sel selection.Method
+			vk  VerifyKind
+		}
+		var combos []combo
+		for _, sel := range selection.Methods {
+			combos = append(combos, combo{sel, VerifyExtensionShared})
+		}
+		for _, vk := range VerifyKinds {
+			combos = append(combos, combo{selection.MultiMatch, vk})
+		}
+		for _, c := range combos {
+			for _, sealed := range []bool{false, true} {
+				m, err := NewMatcher(tau, c.sel, c.vk, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, s := range strs {
+					m.InsertSilent(s)
+				}
+				if sealed {
+					m.Seal()
+				}
+				for qt := 0; qt <= tau; qt++ {
+					got := m.QueryOpt(q, QueryOpts{Tau: qt})
+					if len(got) != len(want[qt]) {
+						t.Fatalf("%v/%v sealed=%v qtau=%d/%d: %d hits, want %d (corpus %q query %q)",
+							c.sel, c.vk, sealed, qt, tau, len(got), len(want[qt]), strs, q)
+					}
+					for _, h := range got {
+						if d, ok := want[qt][h.ID]; !ok || d != h.Dist {
+							t.Fatalf("%v/%v sealed=%v qtau=%d/%d: hit %+v, want dist %d (present %v)",
+								c.sel, c.vk, sealed, qt, tau, h, d, ok)
+						}
+					}
+					// The streaming form must surface the same hit set.
+					seen := make(map[int32]int32)
+					m.QuerySeq(q, QueryOpts{Tau: qt}, func(h Hit) bool {
+						if _, dup := seen[h.ID]; dup {
+							t.Fatalf("QuerySeq duplicate id %d", h.ID)
+						}
+						seen[h.ID] = h.Dist
+						return true
+					})
+					if len(seen) != len(want[qt]) {
+						t.Fatalf("%v/%v sealed=%v qtau=%d: QuerySeq %d hits, want %d",
+							c.sel, c.vk, sealed, qt, len(seen), len(want[qt]))
+					}
+					for id, d := range want[qt] {
+						if seen[id] != d {
+							t.Fatalf("QuerySeq id %d dist %d, want %d", id, seen[id], d)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
 func FuzzSelfJoin(f *testing.F) {
 	f.Add("abc\nabd\nxyz\nabcd", 1)
 	f.Add("a\n\nb\naa\nab", 2)

@@ -129,34 +129,146 @@ func (m *Matcher) Sealed() bool { return m.fz != nil }
 // FrozenIndex returns the frozen index, or nil before Seal.
 func (m *Matcher) FrozenIndex() *index.Frozen { return m.fz }
 
+// QueryOpts carries per-query parameters for the Query family. The zero
+// value is NOT a useful default — Tau must be set explicitly (the public
+// layer resolves "no override" to the matcher's build threshold).
+type QueryOpts struct {
+	// Tau is the per-probe threshold, in [0, matcher tau]. The partition
+	// geometry stays the build threshold's; selection windows and
+	// verification tighten to this budget (exact by the pigeonhole bound).
+	Tau int
+	// Limit, when > 0, stops the probe after that many hits. The hits kept
+	// are the first discovered in probe order — a cheap cap, not a ranking.
+	Limit int
+}
+
 // Query reports previously inserted strings within the threshold of s as
 // (id, exact distance) pairs, without inserting s. Results are sorted by
 // ascending id. The distances come from the verification pass itself, so
 // callers need no second edit-distance computation.
 func (m *Matcher) Query(s string) []Hit {
+	return m.QueryOpt(s, QueryOpts{Tau: m.tau})
+}
+
+// QueryOpt is Query with per-query options: a probe threshold that may be
+// smaller than the build threshold, and an optional hit cap. It panics when
+// o.Tau is outside [0, matcher tau] — a larger threshold cannot be answered
+// exactly by a partition built for a smaller one.
+func (m *Matcher) QueryOpt(s string, o QueryOpts) []Hit {
+	qtau := m.checkQueryTau(o.Tau)
 	p := m.p
 	p.ref = m.strs
+	// Claim the epoch before probing: if the probe unwinds (a panicking
+	// QuerySeq consumer shares this path via the emit hook), the aborted
+	// probe's dedup stamps must not suppress hits from the next query on
+	// this (possibly pooled) matcher.
 	p.epoch = m.epoch
+	m.epoch++
 	p.needDist = true
-	p.probe(s, len(s)-m.tau, len(s)+m.tau)
-	out := make([]Hit, 0, len(p.hits))
-	for k, id := range p.hits {
-		out = append(out, Hit{ID: id, Dist: p.dists[k]})
-	}
-	for _, rid := range m.shorts {
-		if absInt(len(m.strs[rid])-len(s)) > m.tau {
-			continue
+	p.qtau = qtau
+	var out []Hit
+	if o.Limit > 0 {
+		// Early-exit path: stream through the prober and stop at the cap.
+		// The emit hook is cleared via defer so a panic unwinding through
+		// the probe cannot leave it armed on a pooled snapshot.
+		defer func() { p.emit = nil }()
+		p.emit = func(id, d int32) bool {
+			out = append(out, Hit{ID: id, Dist: d})
+			return len(out) < o.Limit
 		}
-		if d := p.verifyDirect(m.strs[rid], s); d <= m.tau {
-			out = append(out, Hit{ID: rid, Dist: int32(d)})
+		p.probe(s, len(s)-qtau, len(s)+qtau)
+		p.emit = nil
+		for _, rid := range m.shorts {
+			if len(out) >= o.Limit {
+				break
+			}
+			if absInt(len(m.strs[rid])-len(s)) > qtau {
+				continue
+			}
+			if d := p.verifyDirect(m.strs[rid], s); d <= qtau {
+				out = append(out, Hit{ID: rid, Dist: int32(d)})
+			}
+		}
+	} else {
+		p.probe(s, len(s)-qtau, len(s)+qtau)
+		out = make([]Hit, 0, len(p.hits))
+		for k, id := range p.hits {
+			out = append(out, Hit{ID: id, Dist: p.dists[k]})
+		}
+		for _, rid := range m.shorts {
+			if absInt(len(m.strs[rid])-len(s)) > qtau {
+				continue
+			}
+			if d := p.verifyDirect(m.strs[rid], s); d <= qtau {
+				out = append(out, Hit{ID: rid, Dist: int32(d)})
+			}
 		}
 	}
 	sortHitsByID(out)
-	m.epoch++
 	if m.st != nil {
 		m.st.Results += int64(len(out))
 	}
 	return out
+}
+
+// QuerySeq streams every hit within o.Tau of s to yield as verification
+// accepts it, in probe order (not sorted), stopping early when yield
+// returns false or o.Limit hits have been delivered. Hits are exact and
+// deduplicated; distances are exact. The early exit is the point: a
+// consumer that needs only a few matches abandons the rest of the probe.
+func (m *Matcher) QuerySeq(s string, o QueryOpts, yield func(Hit) bool) {
+	qtau := m.checkQueryTau(o.Tau)
+	p := m.p
+	p.ref = m.strs
+	// Claim the epoch before probing (see QueryOpt): a panicking yield
+	// must not leave this probe's dedup stamps current for the next query.
+	p.epoch = m.epoch
+	m.epoch++
+	p.needDist = true
+	p.qtau = qtau
+	n := 0
+	stopped := false
+	// yield is consumer code: it can panic (or Goexit via t.Fatal), and
+	// this matcher may be a pooled snapshot that outlives the panic. The
+	// deferred reset keeps a dead iteration's hook from hijacking the
+	// next query on the same snapshot.
+	defer func() { p.emit = nil }()
+	p.emit = func(id, d int32) bool {
+		n++
+		if !yield(Hit{ID: id, Dist: d}) {
+			stopped = true
+			return false
+		}
+		return o.Limit <= 0 || n < o.Limit
+	}
+	p.probe(s, len(s)-qtau, len(s)+qtau)
+	p.emit = nil
+	if !stopped && (o.Limit <= 0 || n < o.Limit) {
+		for _, rid := range m.shorts {
+			if absInt(len(m.strs[rid])-len(s)) > qtau {
+				continue
+			}
+			if d := p.verifyDirect(m.strs[rid], s); d <= qtau {
+				n++
+				if !yield(Hit{ID: rid, Dist: int32(d)}) {
+					break
+				}
+				if o.Limit > 0 && n >= o.Limit {
+					break
+				}
+			}
+		}
+	}
+	if m.st != nil {
+		m.st.Results += int64(n)
+	}
+}
+
+func (m *Matcher) checkQueryTau(qtau int) int {
+	if qtau < 0 || qtau > m.tau {
+		panic(fmt.Sprintf("core: query tau %d outside [0, %d]", qtau, m.tau))
+	}
+	return qtau
 }
 
 // QueryIDs is Query without the distance annotation: the extension
@@ -257,6 +369,7 @@ func (m *Matcher) match(s string, needDist bool) []int32 {
 	p.ref = m.strs
 	p.epoch = m.epoch
 	p.needDist = needDist
+	p.qtau = m.tau // a prior QueryOpt may have left a tighter budget
 	p.probe(s, len(s)-m.tau, len(s)+m.tau)
 	ids := append(make([]int32, 0, len(p.hits)), p.hits...)
 	for _, rid := range m.shorts {

@@ -17,9 +17,16 @@ import (
 // read-optimized index) is non-nil; probe dispatches on which.
 type prober struct {
 	tau int
-	sel selection.Method
-	vk  VerifyKind
-	st  *metrics.Stats
+	// qtau is the per-probe threshold, distinct from the partition
+	// threshold tau: the index is partitioned into tau+1 segments, but a
+	// probe may ask for matches within any smaller budget. Selection
+	// windows and verification thresholds use qtau; segment geometry
+	// (positions, lengths, slot count) always uses tau. Callers set it
+	// before each probe; the constructor defaults it to tau.
+	qtau int
+	sel  selection.Method
+	vk   VerifyKind
+	st   *metrics.Stats
 
 	idx *index.Index
 	fz  *index.Frozen
@@ -50,11 +57,19 @@ type prober struct {
 	// matching distances when needDist is set.
 	hits  []int32
 	dists []int32
+
+	// emit, when non-nil, receives each accepted candidate immediately
+	// instead of having it collected into hits — the streaming query path.
+	// Returning false sets stopped and abandons the rest of the probe.
+	// Distances passed to emit are exact only when needDist is set.
+	emit    func(id, dist int32) bool
+	stopped bool
 }
 
 func newProber(tau int, sel selection.Method, vk VerifyKind, st *metrics.Stats, idx *index.Index, fz *index.Frozen, ref []string) *prober {
 	p := &prober{
 		tau:   tau,
+		qtau:  tau,
 		sel:   sel,
 		vk:    vk,
 		st:    st,
@@ -75,11 +90,16 @@ func newProber(tau int, sel selection.Method, vk VerifyKind, st *metrics.Stats, 
 	return p
 }
 
-// probe finds all indexed strings with lengths in [lmin, lmax] similar to s
-// and records their ids in p.hits. p.epoch must be unique per call.
+// probe finds all indexed strings with lengths in [lmin, lmax] within
+// p.qtau of s and records their ids in p.hits (or streams them to p.emit).
+// p.epoch must be unique per call. Callers derive lmin/lmax from the same
+// threshold they set qtau to; the partition geometry — segment positions,
+// lengths, and the tau+1 slot count — always follows the build threshold
+// p.tau, which is what lets one index answer any query budget <= tau.
 func (p *prober) probe(s string, lmin, lmax int) {
 	p.hits = p.hits[:0]
 	p.dists = p.dists[:0]
+	p.stopped = false
 	tau := p.tau
 	if lmin < tau+1 {
 		lmin = tau + 1
@@ -102,7 +122,7 @@ func (p *prober) probe(s string, lmin, lmax int) {
 				pi = partition.SegPos(l, tau, i)
 				li = partition.SegLen(l, tau, i)
 			}
-			lo, hi := p.sel.Window(len(s), l, tau, i, pi, li)
+			lo, hi := p.sel.WindowQ(len(s), l, p.qtau, tau+1, i, pi, li)
 			if hi < lo {
 				continue
 			}
@@ -125,6 +145,9 @@ func (p *prober) probe(s string, lmin, lmax int) {
 					p.st.LookupHits++
 				}
 				p.handleList(s, lst, i, pos, pi, li)
+				if p.stopped {
+					return
+				}
 			}
 		}
 	}
@@ -142,11 +165,11 @@ func (p *prober) handleList(s string, lst []int32, i, pos, pi, li int) {
 	}
 }
 
-// verifyWhole verifies candidates with a whole-string banded DP. The
-// verdict does not depend on the matched alignment, so each pair is checked
-// at most once per probe (checked stamp).
+// verifyWhole verifies candidates with a whole-string banded DP against the
+// query threshold. The verdict does not depend on the matched alignment, so
+// each pair is checked at most once per probe (checked stamp).
 func (p *prober) verifyWhole(s string, lst []int32) {
-	tau := p.tau
+	tau := p.qtau
 	for _, rid := range lst {
 		if p.maxID >= 0 && rid >= p.maxID {
 			continue
@@ -172,9 +195,8 @@ func (p *prober) verifyWhole(s string, lst []int32) {
 			d = p.ver.Dist(p.ref[rid], s, tau)
 		}
 		if d <= tau {
-			p.hits = append(p.hits, rid)
-			if p.needDist {
-				p.dists = append(p.dists, int32(d))
+			if !p.accept(rid, int32(d)) {
+				return
 			}
 		}
 	}
@@ -182,13 +204,17 @@ func (p *prober) verifyWhole(s string, lst []int32) {
 
 // verifyExtension verifies candidates with the extension-based method of
 // §5.2: split both strings at the matched segment, verify the left parts
-// under τl = i−1 and the right parts under τr = τ+1−i. A pair rejected here
-// may still be accepted at a later alignment (the completeness argument
-// guarantees some alignment passes for every similar pair), so only
-// accepted pairs are stamped.
+// under τl = min(i−1, τ′) and the right parts under τr = min(τ+1−i, τ′),
+// where τ′ is the per-probe threshold (τ′ = τ leaves the paper's original
+// bounds). When τ′ < τ the per-side bounds no longer sum to the budget, so
+// acceptance additionally requires dl+dr ≤ τ′ — sound because the edit
+// distance is at most dl+dr, and complete because the witness alignment of
+// the paper's completeness lemma restricts the optimal alignment to the two
+// sides, giving dl+dr ≤ ed ≤ τ′ there. A pair rejected here may still be
+// accepted at a later alignment, so only accepted pairs are stamped.
 func (p *prober) verifyExtension(s string, lst []int32, i, pos, pi, li int) {
-	tauL := i - 1
-	tauR := p.tau + 1 - i
+	tauL := minInt(i-1, p.qtau)
+	tauR := minInt(p.tau+1-i, p.qtau)
 	sl := s[:pos-1]
 	sr := s[pos-1+li:]
 	shared := p.vk == VerifyExtensionShared
@@ -227,31 +253,53 @@ func (p *prober) verifyExtension(s string, lst []int32, i, pos, pi, li int) {
 		} else {
 			dr = p.ver.Dist(rr, sr, tauR)
 		}
-		if dr > tauR {
+		if dr > tauR || dl+dr > p.qtau {
 			continue
 		}
 		p.accepted[rid] = p.epoch
-		p.hits = append(p.hits, rid)
+		var d int32 = -1
 		if p.needDist {
 			// dl+dr only bounds the distance from above (the optimal
 			// alignment need not pass through this segment match), so
 			// recover the exact value — the bit-parallel kernel is the
 			// cheapest exact computer for word-sized strings, and the
-			// accepted pair is guaranteed within tau so the thresholded
-			// result is exact.
-			p.dists = append(p.dists, int32(p.ver.DistMyers(r, s, p.tau)))
+			// accepted pair is guaranteed within the query threshold so the
+			// thresholded result is exact.
+			d = int32(p.ver.DistMyers(r, s, p.qtau))
+		}
+		if !p.accept(rid, d) {
+			return
 		}
 	}
 }
 
-// verifyDirect verifies one candidate with the whole-string verifier,
-// bypassing segment context, and returns the exact distance (or tau+1 when
-// beyond the threshold). Used for the short-string side list.
+// accept records one verified hit: streamed to emit when set, collected
+// into hits/dists otherwise. It returns false — after setting stopped —
+// when the emit consumer wants no more results.
+func (p *prober) accept(rid, d int32) bool {
+	if p.emit != nil {
+		if !p.emit(rid, d) {
+			p.stopped = true
+			return false
+		}
+		return true
+	}
+	p.hits = append(p.hits, rid)
+	if p.needDist {
+		p.dists = append(p.dists, d)
+	}
+	return true
+}
+
+// verifyDirect verifies one candidate with the whole-string verifier
+// against the per-probe threshold, bypassing segment context, and returns
+// the exact distance (or qtau+1 when beyond the threshold). Used for the
+// short-string side list.
 func (p *prober) verifyDirect(r, s string) int {
 	if p.st != nil {
 		p.st.Candidates++
 		p.st.UniqueCandidates++
 		p.st.Verifications++
 	}
-	return p.ver.Dist(r, s, p.tau)
+	return p.ver.Dist(r, s, p.qtau)
 }

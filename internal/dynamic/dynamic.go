@@ -383,27 +383,43 @@ func (t *Tier) Delete(gid int64) (bool, error) {
 // distance), sorted by ascending distance with ties broken by id. It is
 // safe for any number of concurrent callers.
 func (t *Tier) Search(q string) []Hit {
+	return t.SearchOpt(q, core.QueryOpts{Tau: t.cfg.Tau})
+}
+
+// SearchOpt is Search with per-query options: the probe threshold (which
+// must be in [0, cfg.Tau] — both the frozen base and the mutable delta
+// were partitioned for cfg.Tau and answer any smaller budget exactly) and
+// an optional cap on the number of live hits returned. The cap counts
+// live documents only: tombstoned hits never displace live ones, so a
+// capped result is short only when fewer live matches exist.
+func (t *Tier) SearchOpt(q string, o core.QueryOpts) []Hit {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	var out []Hit
+	full := func() bool { return o.Limit > 0 && len(out) >= o.Limit }
+	// The engine-level cap cannot see tombstones, so the filtering and
+	// capping happen here, streaming via QuerySeq for the early exit.
+	probe := core.QueryOpts{Tau: o.Tau}
 	if b := t.base.Load(); b != nil {
 		m := b.pool.Get().(*core.Matcher)
-		for _, h := range m.Query(q) {
+		m.QuerySeq(q, probe, func(h core.Hit) bool {
 			gid := b.ids[h.ID]
 			if _, dead := t.tombs[gid]; !dead {
 				out = append(out, Hit{ID: gid, Dist: int(h.Dist)})
 			}
-		}
+			return !full()
+		})
 		b.pool.Put(m)
 	}
-	if t.delta.Len() > 0 {
+	if !full() && t.delta.Len() > 0 {
 		snap := t.delta.Snapshot()
-		for _, h := range snap.Query(q) {
+		snap.QuerySeq(q, probe, func(h core.Hit) bool {
 			gid := t.deltaIDs[h.ID]
 			if _, dead := t.tombs[gid]; !dead {
 				out = append(out, Hit{ID: gid, Dist: int(h.Dist)})
 			}
-		}
+			return !full()
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dist != out[j].Dist {

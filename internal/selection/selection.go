@@ -77,6 +77,29 @@ func ParseMethod(name string) (Method, error) {
 // The length difference Δ = sLen − l may be negative (R≠S joins probe
 // indexes of longer strings); all four formulas remain valid.
 func (m Method) Window(sLen, l, tau, i, pi, segLen int) (lo, hi int) {
+	return m.WindowQ(sLen, l, tau, tau+1, i, pi, segLen)
+}
+
+// WindowQ is Window generalized to a query threshold qtau that may be
+// smaller than the threshold the index partition was built for: the
+// partition has segs segments (segs = build-τ + 1), while the probe must
+// only find strings within qtau edits. By the pigeonhole argument, qtau
+// edits destroy at most qtau < segs segments, so the τ-partition still
+// answers the smaller threshold exactly — but every shift bound tightens,
+// because the edits available on either side of a matched segment are now
+// capped by qtau as well as by the segment's position:
+//
+//   - Shift: |p − pi| ≤ total edits ≤ qtau.
+//   - Position: the left shift costs |p − pi| edits and the right shift
+//     |p − pi − Δ|, summing to ≤ qtau (§4.1 with τ′ in place of τ).
+//   - MultiMatch: the left perspective allows a shift of at most
+//     min(i−1, qtau) — the i−1 preceding segments bound it exactly as in
+//     §4.2, and the query budget bounds it independently — and the right
+//     perspective (relative to pi+Δ) at most min(segs−i, qtau).
+//
+// With qtau = segs−1 (querying at the build threshold) every cap reduces
+// to the paper's original formula, which Window delegates to.
+func (m Method) WindowQ(sLen, l, qtau, segs, i, pi, segLen int) (lo, hi int) {
 	last := sLen - segLen + 1 // last feasible start position
 	if last < 1 {
 		return 1, 0
@@ -86,20 +109,21 @@ func (m Method) Window(sLen, l, tau, i, pi, segLen int) (lo, hi int) {
 	case Length:
 		lo, hi = 1, last
 	case Shift:
-		lo = pi - tau
-		hi = pi + tau
+		lo = pi - qtau
+		hi = pi + qtau
 	case Position:
 		// pmin = pi − ⌊(τ−Δ)/2⌋, pmax = pi + ⌊(τ+Δ)/2⌋ (§4.1).
-		lo = pi - (tau-delta)/2
-		hi = pi + (tau+delta)/2
+		lo = pi - (qtau-delta)/2
+		hi = pi + (qtau+delta)/2
 	case MultiMatch:
-		// ⊥i = max(⊥l_i, ⊥r_i), ⊤i = min(⊤l_i, ⊤r_i) (§4.2):
-		// left perspective allows a shift of at most i−1, right perspective
-		// a shift (relative to pi+Δ) of at most τ+1−i.
-		loL := pi - (i - 1)
-		hiL := pi + (i - 1)
-		loR := pi + delta - (tau + 1 - i)
-		hiR := pi + delta + (tau + 1 - i)
+		// ⊥i = max(⊥l_i, ⊥r_i), ⊤i = min(⊤l_i, ⊤r_i) (§4.2), with both
+		// per-side shift allowances capped by the query budget.
+		capL := min(i-1, qtau)
+		capR := min(segs-i, qtau)
+		loL := pi - capL
+		hiL := pi + capL
+		loR := pi + delta - capR
+		hiR := pi + delta + capR
 		lo = max(loL, loR)
 		hi = min(hiL, hiR)
 	default:

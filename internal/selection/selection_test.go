@@ -254,6 +254,95 @@ func TestParseMethod(t *testing.T) {
 	}
 }
 
+// TestWindowQReducesToWindow pins the delegation identity: probing a
+// τ-partition at its own threshold must select exactly the paper's
+// original windows, for every method and geometry.
+func TestWindowQReducesToWindow(t *testing.T) {
+	for _, m := range Methods {
+		for tau := 0; tau <= 4; tau++ {
+			for l := tau + 1; l <= 16; l++ {
+				for sLen := 1; sLen <= 18; sLen++ {
+					for i := 1; i <= tau+1; i++ {
+						pi := partition.SegPos(l, tau, i)
+						li := partition.SegLen(l, tau, i)
+						lo, hi := m.Window(sLen, l, tau, i, pi, li)
+						loQ, hiQ := m.WindowQ(sLen, l, tau, tau+1, i, pi, li)
+						if lo != loQ || hi != hiQ {
+							t.Fatalf("%v sLen=%d l=%d tau=%d i=%d: Window [%d,%d] != WindowQ [%d,%d]",
+								m, sLen, l, tau, i, lo, hi, loQ, hiQ)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWindowQMonotone checks that tightening the query budget never grows
+// a window: the τ′-window is contained in the τ-window for every τ′ < τ
+// (a larger budget admits every alignment a smaller one does).
+func TestWindowQMonotone(t *testing.T) {
+	for _, m := range Methods {
+		for tau := 1; tau <= 4; tau++ {
+			for qt := 0; qt < tau; qt++ {
+				for l := tau + 1; l <= 14; l++ {
+					for sLen := 1; sLen <= 16; sLen++ {
+						for i := 1; i <= tau+1; i++ {
+							pi := partition.SegPos(l, tau, i)
+							li := partition.SegLen(l, tau, i)
+							lo, hi := m.WindowQ(sLen, l, tau, tau+1, i, pi, li)
+							loQ, hiQ := m.WindowQ(sLen, l, qt, tau+1, i, pi, li)
+							if hiQ < loQ {
+								continue // empty tight window is always contained
+							}
+							if loQ < lo || hiQ > hi {
+								t.Fatalf("%v sLen=%d l=%d tau=%d qtau=%d i=%d: [%d,%d] not within [%d,%d]",
+									m, sLen, l, tau, qt, i, loQ, hiQ, lo, hi)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWindowQComplete is the exhaustive completeness check for the
+// tightened windows: for random (r, s) pairs with ed(r, s) <= qtau over a
+// τ-partition, some segment of r must occur in s at a position inside its
+// WindowQ window — otherwise the probe could miss a true match.
+func TestWindowQComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var v verify.Verifier
+	for trial := 0; trial < 4000; trial++ {
+		tau := 1 + rng.Intn(3)
+		qt := rng.Intn(tau + 1)
+		r := randString(rng, tau+1+rng.Intn(10), 3)
+		s := mutateK(rng, r, rng.Intn(qt+1), 3)
+		if v.Dist(r, s, qt) > qt {
+			continue
+		}
+		for _, m := range Methods {
+			found := false
+			segs := partition.Segments(len(r), tau)
+			for i := 1; i <= tau+1 && !found; i++ {
+				sg := segs[i-1]
+				w := r[sg.Pos-1 : sg.Pos-1+sg.Len]
+				lo, hi := m.WindowQ(len(s), len(r), qt, tau+1, i, sg.Pos, sg.Len)
+				for p := lo; p <= hi; p++ {
+					if s[p-1:p-1+sg.Len] == w {
+						found = true
+						break
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("%v: no window of the tau=%d partition of %q finds it in %q (ed <= %d)", m, tau, r, s, qt)
+			}
+		}
+	}
+}
+
 // --- helpers ---
 
 func randString(rng *rand.Rand, n, alpha int) string {

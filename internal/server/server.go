@@ -6,10 +6,14 @@
 // exposes it over HTTP/JSON:
 //
 //	GET    /healthz            liveness + index shape
-//	GET    /v1/search?q=...    single lookup (all matches within tau)
-//	POST   /v1/search          same, JSON body {"query": "...", "k": 5}
-//	POST   /v1/batch           batch lookup {"queries": [...], "k": 0}
-//	GET    /v1/topk?q=...&k=5  k nearest within tau
+//	GET    /v1/search?q=...    single lookup (all matches within tau);
+//	                           &tau= answers at a smaller threshold and
+//	                           &k= keeps the k nearest
+//	POST   /v1/search          same, JSON body {"query": "...", "k": 5,
+//	                           "tau": 1}
+//	POST   /v1/batch           batch lookup {"queries": [...], "k": 0,
+//	                           "tau": 1}
+//	GET    /v1/topk?q=...&k=5  k nearest within tau (&tau= supported)
 //	POST   /v1/dedup           streaming self-dedup: text lines in,
 //	                           NDJSON near-duplicate pairs out
 //	POST   /v1/join/self       bulk self join: text lines in, NDJSON
@@ -48,16 +52,14 @@ import (
 	"passjoin/internal/verify"
 )
 
-// Index is the read contract both searcher kinds satisfy. At returns the
-// document stored under a match id ("" when the id is unknown — dynamic
-// ids may be deleted between a search and the fetch).
+// Index is the read contract every searcher kind satisfies: the unified
+// passjoin.Index (per-query thresholds, top-k, limits, streaming) plus
+// the shard-shape introspection the stats and health endpoints surface.
+// The ?tau= and ?k= request parameters map straight onto the per-query
+// options, so one index serves every threshold up to its build tau.
 type Index interface {
-	Search(q string) []passjoin.Match
-	SearchTopK(q string, k int) []passjoin.Match
-	Len() int
-	Tau() int
+	passjoin.Index
 	NumShards() int
-	At(id int) string
 }
 
 // MutableIndex is the additional write contract of
@@ -67,7 +69,6 @@ type MutableIndex interface {
 	Index
 	Insert(doc string) (int, error)
 	Delete(id int) (bool, error)
-	Get(id int) (string, bool)
 	Stats() passjoin.Stats
 	// Err reports the most recent background-compaction failure, if any
 	// — surfaced on /v1/stats so operators see a wedged compactor long
@@ -219,10 +220,13 @@ type SearchResponse struct {
 }
 
 // BatchRequest is the body of /v1/batch. K > 0 truncates each result to
-// the k nearest, 0 returns all matches within the threshold.
+// the k nearest, 0 returns all matches within the threshold. Tau, when
+// present, answers every query in the batch at that threshold instead of
+// the index threshold (0 <= tau <= index tau).
 type BatchRequest struct {
 	Queries []string `json:"queries"`
 	K       int      `json:"k,omitempty"`
+	Tau     *int     `json:"tau,omitempty"`
 }
 
 // BatchResponse is the reply to /v1/batch; Results[i] answers Queries[i].
@@ -306,15 +310,62 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// searchRequest is the POST body form of /v1/search.
+// searchRequest is the POST body form of /v1/search. Tau, when present,
+// answers the query at that threshold instead of the index threshold
+// (0 <= tau <= index tau).
 type searchRequest struct {
 	Query string `json:"query"`
 	K     int    `json:"k,omitempty"`
+	Tau   *int   `json:"tau,omitempty"`
+}
+
+// tauParam parses the optional ?tau= threshold override from the query
+// string, writing the error response itself when the value is malformed
+// or unanswerable. The second return is false on failure; -1 means the
+// parameter was absent (use the index threshold).
+func (s *Server) tauParam(w http.ResponseWriter, r *http.Request) (int, bool) {
+	raw := r.URL.Query().Get("tau")
+	if raw == "" {
+		return -1, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid tau: %q (must be a non-negative integer)", raw))
+		return 0, false
+	}
+	return v, s.checkTau(w, v)
+}
+
+// tauField validates an optional JSON-body threshold override, mapping a
+// nil pointer to -1 (absent).
+func (s *Server) tauField(w http.ResponseWriter, tau *int) (int, bool) {
+	if tau == nil {
+		return -1, true
+	}
+	if *tau < 0 {
+		writeError(w, http.StatusBadRequest, "tau must be non-negative")
+		return 0, false
+	}
+	return *tau, s.checkTau(w, *tau)
+}
+
+// checkTau bounds an explicit per-request threshold by the build
+// threshold: the partition is built into idx.Tau()+1 segments, so any
+// smaller threshold is answerable exactly and anything larger is a client
+// error.
+func (s *Server) checkTau(w http.ResponseWriter, tau int) bool {
+	if tau > s.idx.Tau() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("tau %d exceeds index tau %d (the index partition answers thresholds up to its build tau; start the server with a larger -tau)", tau, s.idx.Tau()))
+		return false
+	}
+	return true
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var q string
 	var k int
+	tau := -1
 	switch r.Method {
 	case http.MethodGet:
 		q = r.URL.Query().Get("q")
@@ -324,6 +375,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		var ok bool
 		if k, ok = intParam(w, r, "k", 0); !ok {
+			return
+		}
+		if tau, ok = s.tauParam(w, r); !ok {
 			return
 		}
 	default: // POST, enforced by the mux pattern
@@ -336,12 +390,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		q, k = req.Query, req.K
+		var ok bool
+		if tau, ok = s.tauField(w, req.Tau); !ok {
+			return
+		}
 	}
 	if k < 0 {
 		writeError(w, http.StatusBadRequest, "k must be non-negative")
 		return
 	}
-	writeJSON(w, http.StatusOK, SearchResponse{Query: q, Matches: s.lookup(q, k)})
+	writeJSON(w, http.StatusOK, SearchResponse{Query: q, Matches: s.lookup(q, k, tau)})
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -358,7 +416,11 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be positive")
 		return
 	}
-	writeJSON(w, http.StatusOK, SearchResponse{Query: q, Matches: s.lookup(q, k)})
+	tau, ok := s.tauParam(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{Query: q, Matches: s.lookup(q, k, tau)})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -373,6 +435,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.K < 0 {
 		writeError(w, http.StatusBadRequest, "k must be non-negative")
+		return
+	}
+	tau, ok := s.tauField(w, req.Tau)
+	if !ok {
 		return
 	}
 	results := make([][]Match, len(req.Queries))
@@ -397,7 +463,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				if i >= len(req.Queries) {
 					return
 				}
-				results[i] = s.lookup(req.Queries[i], req.K)
+				results[i] = s.lookup(req.Queries[i], req.K, tau)
 			}
 		}()
 	}
@@ -619,7 +685,10 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request, self bool) {
 			return // client went away; the workers are already cancelled
 		}
 		if !wrote {
-			writeError(w, http.StatusBadRequest, err.Error())
+			// Parameter validation already passed, so any error from the
+			// engine itself (notably a recovered worker panic) is a server
+			// fault, not a client one.
+			writeError(w, http.StatusInternalServerError, err.Error())
 		} else {
 			_ = enc.Encode(errorResponse{Error: "join failed: " + err.Error()})
 		}
@@ -718,18 +787,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// lookup answers one query against the sharded index: all matches within
-// the threshold, truncated to the k nearest when k > 0.
-func (s *Server) lookup(q string, k int) []Match {
-	var hits []passjoin.Match
-	if k > 0 {
-		hits = s.idx.SearchTopK(q, k)
-	} else {
-		hits = s.idx.Search(q)
+// lookup answers one query against the shared index: all matches within
+// the effective threshold (tau >= 0 overrides the index threshold),
+// truncated to the k nearest when k > 0. One frozen index serves the
+// whole spectrum of thresholds, so the override costs no extra memory.
+func (s *Server) lookup(q string, k, tau int) []Match {
+	var opts []passjoin.QueryOption
+	if tau >= 0 {
+		opts = append(opts, passjoin.QueryTau(tau))
 	}
+	if k > 0 {
+		opts = append(opts, passjoin.QueryTopK(k))
+	}
+	hits := s.idx.Search(q, opts...)
 	out := make([]Match, len(hits))
 	for i, h := range hits {
-		out[i] = Match{ID: h.ID, String: s.idx.At(h.ID), Dist: h.Dist}
+		doc, _ := s.idx.Get(h.ID)
+		out[i] = Match{ID: h.ID, String: doc, Dist: h.Dist}
 	}
 	s.queries.Add(1)
 	s.matches.Add(int64(len(out)))

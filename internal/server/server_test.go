@@ -350,6 +350,123 @@ func urlQueryEscape(s string) string {
 	return strings.ReplaceAll(s, " ", "%20")
 }
 
+// getBody fetches a URL and returns status and raw body bytes.
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestSearchQueryTau is the serving-layer half of the "one index, many
+// thresholds" property: a tau=3 server answering /v1/search?tau=1 must
+// return byte-identical responses to a dedicated tau=1 server over the
+// same corpus, for search, top-k and batch.
+func TestSearchQueryTau(t *testing.T) {
+	corpus := testCorpus(t, 300)
+	_, big := newTestServer(t, corpus, 3, 4, Config{})
+	for _, qt := range []int{0, 1, 2} {
+		_, dedicated := newTestServer(t, corpus, qt, 4, Config{})
+		for _, q := range corpus[:20] {
+			bigCode, bigBody := getBody(t, big.URL+"/v1/search?q="+urlQueryEscape(q)+fmt.Sprintf("&tau=%d", qt))
+			dedCode, dedBody := getBody(t, dedicated.URL+"/v1/search?q="+urlQueryEscape(q))
+			if bigCode != http.StatusOK || dedCode != http.StatusOK {
+				t.Fatalf("qt=%d q=%q: status %d vs %d", qt, q, bigCode, dedCode)
+			}
+			if !bytes.Equal(bigBody, dedBody) {
+				t.Fatalf("qt=%d q=%q: tau-override response differs from dedicated server\n%s\nvs\n%s", qt, q, bigBody, dedBody)
+			}
+
+			bigCode, bigBody = getBody(t, big.URL+"/v1/topk?k=5&q="+urlQueryEscape(q)+fmt.Sprintf("&tau=%d", qt))
+			dedCode, dedBody = getBody(t, dedicated.URL+"/v1/topk?k=5&q="+urlQueryEscape(q))
+			if bigCode != http.StatusOK || dedCode != http.StatusOK {
+				t.Fatalf("topk qt=%d q=%q: status %d vs %d", qt, q, bigCode, dedCode)
+			}
+			if !bytes.Equal(bigBody, dedBody) {
+				t.Fatalf("topk qt=%d q=%q: responses differ", qt, q)
+			}
+		}
+
+		// Batch: the tau field applies to every query in the batch.
+		qt := qt
+		var bigBatch, dedBatch BatchResponse
+		if code := postJSON(t, big.URL+"/v1/batch", BatchRequest{Queries: corpus[:20], Tau: &qt}, &bigBatch); code != http.StatusOK {
+			t.Fatalf("batch qt=%d status %d", qt, code)
+		}
+		if code := postJSON(t, dedicated.URL+"/v1/batch", BatchRequest{Queries: corpus[:20]}, &dedBatch); code != http.StatusOK {
+			t.Fatalf("dedicated batch status %d", code)
+		}
+		if !reflect.DeepEqual(bigBatch, dedBatch) {
+			t.Fatalf("batch qt=%d: results differ", qt)
+		}
+	}
+}
+
+// TestQueryTauValidation pins the structured 400s: tau above the index
+// threshold, negative tau, and garbage tau — on the GET and POST forms.
+func TestQueryTauValidationHTTP(t *testing.T) {
+	corpus := testCorpus(t, 50)
+	_, ts := newTestServer(t, corpus, 2, 2, Config{})
+	for _, bad := range []string{"3", "-1", "-2", "abc", "1e3"} {
+		var e map[string]any
+		if code := getJSON(t, ts.URL+"/v1/search?q=x&tau="+bad, &e); code != http.StatusBadRequest {
+			t.Errorf("search tau=%s: status %d, want 400", bad, code)
+		} else if e["error"] == "" {
+			t.Errorf("search tau=%s: no structured error", bad)
+		}
+		if code := getJSON(t, ts.URL+"/v1/topk?q=x&k=2&tau="+bad, &e); code != http.StatusBadRequest {
+			t.Errorf("topk tau=%s: status %d, want 400", bad, code)
+		}
+	}
+	for _, bad := range []int{3, -1} {
+		bad := bad
+		var e map[string]any
+		if code := postJSON(t, ts.URL+"/v1/search", searchRequest{Query: "x", Tau: &bad}, &e); code != http.StatusBadRequest {
+			t.Errorf("POST search tau=%d: status %d, want 400", bad, code)
+		}
+		if code := postJSON(t, ts.URL+"/v1/batch", BatchRequest{Queries: []string{"x"}, Tau: &bad}, &e); code != http.StatusBadRequest {
+			t.Errorf("POST batch tau=%d: status %d, want 400", bad, code)
+		}
+	}
+	// tau at exactly the index threshold is the no-op override, not an error.
+	var ok SearchResponse
+	if code := getJSON(t, ts.URL+"/v1/search?q=x&tau=2", &ok); code != http.StatusOK {
+		t.Errorf("tau at index threshold: status %d, want 200", code)
+	}
+}
+
+// TestQueryTauOnDynamicServer checks the override is honored by a mutable
+// index too, including documents that arrived through the write path.
+func TestQueryTauOnDynamicServer(t *testing.T) {
+	corpus := testCorpus(t, 120)
+	_, ts := newDynamicTestServer(t, corpus[:60], 3, 2, Config{})
+	for _, doc := range corpus[60:] {
+		var resp DocResponse
+		if code := postJSON(t, ts.URL+"/v1/docs", map[string]string{"doc": doc}, &resp); code != http.StatusCreated {
+			t.Fatalf("insert status %d", code)
+		}
+	}
+	ref, err := passjoin.NewSearcher(corpus, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range corpus[:15] {
+		want := ref.Search(q)
+		var got SearchResponse
+		if code := getJSON(t, ts.URL+"/v1/search?tau=1&q="+urlQueryEscape(q), &got); code != http.StatusOK {
+			t.Fatalf("q=%q status %d", q, code)
+		}
+		checkMatches(t, q, got.Matches, want, corpus)
+	}
+}
+
 func newDynamicTestServer(t testing.TB, corpus []string, tau, shards int, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	idx, err := passjoin.NewDynamicSearcher(corpus, tau,

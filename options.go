@@ -152,11 +152,24 @@ func WithParallelism(n int) Option {
 	}
 }
 
-// WithShards sets the number of index partitions for NewShardedSearcher
-// (ignored by the other entry points, like WithParallelism outside the
-// join paths). n <= 0 selects GOMAXPROCS shards.
+// maxShards bounds WithShards: every shard carries fixed per-partition
+// state (index, pools, and — dynamic mode — WAL and snapshot files), so an
+// absurd count is a resource bomb rather than a tuning choice.
+const maxShards = 1 << 16
+
+// WithShards sets the number of index partitions for NewShardedSearcher,
+// NewDynamicSearcher and OpenDynamicSearcher (see the options table in the
+// package documentation for which constructors honor which options).
+// n == 0 selects GOMAXPROCS shards; negative or implausibly large counts
+// (> 65536) are rejected.
 func WithShards(n int) Option {
 	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("passjoin: negative shard count %d", n)
+		}
+		if n > maxShards {
+			return fmt.Errorf("passjoin: shard count %d exceeds the maximum %d", n, maxShards)
+		}
 		c.shards = n
 		return nil
 	}
@@ -165,11 +178,14 @@ func WithShards(n int) Option {
 // WithCompactThreshold sets, for NewDynamicSearcher and
 // OpenDynamicSearcher, the per-shard delta size (documents, live or
 // tombstoned) that triggers a background compaction. n == 0 keeps the
-// default (dynamic.DefaultCompactThreshold); n < 0 disables automatic
-// compaction, leaving compaction to explicit Compact calls. Ignored by
-// the static entry points.
+// default (dynamic.DefaultCompactThreshold); n == -1 disables automatic
+// compaction, leaving compaction to explicit Compact calls. Other negative
+// values are rejected rather than silently treated as -1.
 func WithCompactThreshold(n int) Option {
 	return func(c *config) error {
+		if n < -1 {
+			return fmt.Errorf("passjoin: invalid compaction threshold %d (use -1 to disable automatic compaction)", n)
+		}
 		c.compactThreshold = n
 		return nil
 	}

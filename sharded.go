@@ -1,6 +1,7 @@
 package passjoin
 
 import (
+	"iter"
 	"runtime"
 	"sort"
 	"sync"
@@ -22,6 +23,10 @@ import (
 //     drops with shard count on multi-core hardware while the result set
 //     stays exactly the same (the partition index is probed per shard and
 //     the union of shard answers is the full answer).
+//
+// Per-query options thread through the fan-out: QueryTau tightens every
+// shard's probe, QueryTopK ranks the merged result, QueryLimit caps each
+// shard's collection and the merged set.
 //
 // This is the serving-layer counterpart of the batch joins: cmd/passjoind
 // exposes a ShardedSearcher over HTTP.
@@ -108,7 +113,8 @@ func NewShardedSearcher(corpus []string, tau int, opts ...Option) (*ShardedSearc
 	return ss, nil
 }
 
-// Tau returns the searcher's threshold.
+// Tau returns the searcher's build threshold — the largest threshold a
+// query may ask for.
 func (ss *ShardedSearcher) Tau() int { return ss.tau }
 
 // Len returns the corpus size.
@@ -118,41 +124,109 @@ func (ss *ShardedSearcher) Len() int { return ss.total }
 func (ss *ShardedSearcher) NumShards() int { return len(ss.shards) }
 
 // At returns the id-th corpus string (ids are positions in the corpus
-// slice passed to NewShardedSearcher, same as Searcher).
+// slice passed to NewShardedSearcher, same as Searcher). It panics when id
+// is out of range; Get is the checked form.
 func (ss *ShardedSearcher) At(id int) string {
 	n := len(ss.shards)
 	return ss.shards[id%n].base.String(id / n)
 }
 
-// Search returns every corpus string within the threshold of q, sorted by
-// ascending distance (ties by corpus index). It is safe for concurrent use
-// from any number of goroutines.
-func (ss *ShardedSearcher) Search(q string) []Match {
-	return ss.search(q, -1)
+// Get returns the id-th corpus string, reporting false instead of
+// panicking when id is out of range.
+func (ss *ShardedSearcher) Get(id int) (string, bool) {
+	if id < 0 || id >= ss.total {
+		return "", false
+	}
+	return ss.At(id), true
+}
+
+// Search returns every corpus string within the threshold of q — the
+// build threshold, or any smaller per-query threshold given with QueryTau
+// — sorted by ascending distance (ties by corpus index). It is safe for
+// concurrent use from any number of goroutines.
+func (ss *ShardedSearcher) Search(q string, opts ...QueryOption) []Match {
+	qc := resolveQuery(ss.tau, opts)
+	if qc.empty {
+		return nil
+	}
+	return ss.search(q, qc)
 }
 
 // SearchTopK returns the k closest corpus strings to q among those within
 // the indexed threshold, sorted by ascending distance (ties by corpus
 // index). Fewer than k matches are returned when fewer exist within the
 // threshold; k <= 0 returns nil. Safe for concurrent use.
+//
+// Deprecated: use Search(q, QueryTopK(k)), which composes with the other
+// per-query options.
 func (ss *ShardedSearcher) SearchTopK(q string, k int) []Match {
-	if k <= 0 {
-		return nil
+	return ss.Search(q, QueryTopK(k))
+}
+
+// SearchSeq streams matches for q shard by shard, in no particular order
+// (use Search for ranked output; with QueryTopK the ranked matches are
+// materialized first and yielded in order). Breaking out of the range
+// loop abandons the rest of the probe. The shards are probed sequentially
+// — SearchSeq trades the fan-out parallelism for laziness, which wins
+// when the consumer exits early. Safe for concurrent use.
+func (ss *ShardedSearcher) SearchSeq(q string, opts ...QueryOption) iter.Seq[Match] {
+	qc := resolveQuery(ss.tau, opts)
+	return func(yield func(Match) bool) {
+		if qc.empty {
+			return
+		}
+		if qc.topk > 0 {
+			for _, m := range ss.search(q, qc) {
+				if !yield(m) {
+					return
+				}
+			}
+			return
+		}
+		n := len(ss.shards)
+		remaining := qc.limit // 0 = unlimited
+		for si, sh := range ss.shards {
+			stopped := false
+			delivered := 0
+			func() {
+				m := sh.acquire()
+				// Deferred like Searcher.SearchSeq: a panicking consumer
+				// must not strand the snapshot outside the pool.
+				defer sh.release(m)
+				m.QuerySeq(q, core.QueryOpts{Tau: qc.tau, Limit: remaining}, func(h core.Hit) bool {
+					delivered++
+					if !yield(Match{ID: int(h.ID)*n + si, Dist: int(h.Dist)}) {
+						stopped = true
+						return false
+					}
+					return true
+				})
+			}()
+			if stopped {
+				return
+			}
+			if qc.limit > 0 {
+				remaining -= delivered
+				if remaining <= 0 {
+					return
+				}
+			}
+		}
 	}
-	return ss.search(q, k)
 }
 
 // search fans q out to every shard, rewrites local ids to global ones
-// (global = local*N + shard), and merges. k < 0 means "all". The fan-out
-// runs on goroutines only when more than one CPU is available — on a
-// single core the parallelism cannot pay for its scheduling overhead, and
-// probing the shards in-line on the caller's goroutine is strictly faster.
-func (ss *ShardedSearcher) search(q string, k int) []Match {
+// (global = local*N + shard), and merges. The fan-out runs on goroutines
+// only when more than one CPU is available — on a single core the
+// parallelism cannot pay for its scheduling overhead, and probing the
+// shards in-line on the caller's goroutine is strictly faster.
+func (ss *ShardedSearcher) search(q string, qc queryConfig) []Match {
 	n := len(ss.shards)
+	o := qc.coreOpts()
 	parts := make([][]Match, n)
 	if n == 1 || runtime.GOMAXPROCS(0) == 1 {
 		for s, sh := range ss.shards {
-			parts[s] = sh.query(q, n, s)
+			parts[s] = sh.query(q, n, s, o)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -160,7 +234,7 @@ func (ss *ShardedSearcher) search(q string, k int) []Match {
 			wg.Add(1)
 			go func(s int, sh *searchShard) {
 				defer wg.Done()
-				parts[s] = sh.query(q, n, s)
+				parts[s] = sh.query(q, n, s, o)
 			}(s, sh)
 		}
 		wg.Wait()
@@ -173,19 +247,15 @@ func (ss *ShardedSearcher) search(q string, k int) []Match {
 	for _, p := range parts {
 		out = append(out, p...)
 	}
-	if k >= 0 {
-		return topKMatches(out, k)
-	}
-	sortMatches(out)
-	return out
+	return qc.finish(out)
 }
 
 // query runs one shard probe on a pooled snapshot and maps local ids back
 // to global corpus ids. Distances come from the probe's verification pass;
 // no per-hit edit-distance recomputation.
-func (sh *searchShard) query(q string, n, s int) []Match {
+func (sh *searchShard) query(q string, n, s int, o core.QueryOpts) []Match {
 	m := sh.acquire()
-	hits := m.Query(q)
+	hits := m.QueryOpt(q, o)
 	out := make([]Match, len(hits))
 	for i, h := range hits {
 		out[i] = Match{ID: int(h.ID)*n + s, Dist: int(h.Dist)}
