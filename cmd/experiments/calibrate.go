@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"passjoin/internal/dataset"
+	"passjoin/internal/engine"
+)
+
+// calibrate regenerates the planner cost model: it joins every
+// calibration regime with every admissible engine, divides measured wall
+// time by the engine's analytic feature value, and prints the median
+// ns-per-unit coefficient per engine as the Go map literal for
+// internal/engine/model.go, followed by the winner each coefficient set
+// implies per regime (the table the planner regression tests pin).
+//
+// Regime sizes scale with -scale; coefficients are ratios, so the scale
+// mostly affects noise, not the fitted values.
+func (c *runConfig) calibrate() error {
+	header("Planner calibration (scale=" + c.scale + ")")
+	mult := len(c.corpus(c.specs[0])) / 5000 // specs[0] is author at 5000×mult
+	if mult < 1 {
+		mult = 1
+	}
+	regimes := []dataset.Regime{
+		{Name: "author", Strs: dataset.Author(2000*mult, c.seed), Taus: []int{1, 2, 3}},
+		{Name: "querylog", Strs: dataset.QueryLog(800*mult, c.seed), Taus: []int{2, 3}},
+		{Name: "authortitle", Strs: dataset.AuthorTitle(500*mult, c.seed), Taus: []int{2, 3}},
+		{Name: "dna", Strs: dataset.DNA(2000*mult, c.seed), Taus: []int{1, 2}},
+		{Name: "dna-hightau", Strs: dataset.DNA(1000*mult, c.seed), Taus: []int{3, 4}},
+		{Name: "author-hightau", Strs: dataset.Author(1000*mult, c.seed), Taus: []int{4, 5}},
+	}
+
+	samples := map[string][]float64{} // engine -> measured ns / feature unit
+	w := newTable()
+	fmt.Fprintln(w, "regime\ttau\tengine\tms\tns/unit")
+	for _, reg := range regimes {
+		st := engine.Sample(reg.Strs)
+		for _, tau := range reg.Taus {
+			for _, e := range engine.All() {
+				if e.Caps().Rejects(st, tau) != nil {
+					continue
+				}
+				elapsed := timeIt(func() {
+					if _, err := e.SelfJoin(reg.Strs, tau, nil); err != nil {
+						panic(err)
+					}
+				})
+				unit := engine.Cost(e, st, tau) / engine.Coefficient(e.Name())
+				perUnit := float64(elapsed.Nanoseconds()) / unit
+				samples[e.Name()] = append(samples[e.Name()], perUnit)
+				fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%.2f\n", reg.Name, tau, e.Name(), ms(elapsed), perUnit)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("\n// median ns/unit — paste into internal/engine/model.go")
+	fmt.Println("var coefficients = map[string]float64{")
+	medians := map[string]float64{}
+	for _, name := range names {
+		s := samples[name]
+		sort.Float64s(s)
+		medians[name] = s[len(s)/2]
+		fmt.Printf("\t%q: %.0f,\n", name, medians[name])
+	}
+	fmt.Println("}")
+
+	header("Implied planner choices (current compiled coefficients)")
+	w = newTable()
+	fmt.Fprintln(w, "regime\ttau\tauto picks\tmeasured fastest")
+	for _, reg := range regimes {
+		st := engine.Sample(reg.Strs)
+		for _, tau := range reg.Taus {
+			var fastest string
+			var fastestTime time.Duration
+			for _, e := range engine.All() {
+				if e.Caps().Rejects(st, tau) != nil {
+					continue
+				}
+				elapsed := timeIt(func() { _, _ = e.SelfJoin(reg.Strs, tau, nil) })
+				if fastest == "" || elapsed < fastestTime {
+					fastest, fastestTime = e.Name(), elapsed
+				}
+			}
+			fmt.Fprintf(w, "%s\t%d\t%s\t%s (%s)\n",
+				reg.Name, tau, engine.Choose(st, tau).Name(), fastest, ms(fastestTime))
+		}
+	}
+	return w.Flush()
+}

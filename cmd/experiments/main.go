@@ -10,7 +10,9 @@
 //	fig16     scalability in dataset size (Figure 16)
 //	table3    index sizes (Table 3)
 //	ablation  extension experiments beyond the paper
-//	all       everything above, in order
+//	calibrate regenerate the multi-engine planner cost model
+//	          (internal/engine/model.go coefficients)
+//	all       every table and figure above, in order (calibrate excluded)
 //
 // Corpus sizes scale with -scale small|medium|full; absolute numbers are
 // machine-dependent, the paper's SHAPES (orderings, ratios, crossovers) are
@@ -66,6 +68,8 @@ func run(cfg *runConfig, cmd string) error {
 		return cfg.table3()
 	case "ablation":
 		return cfg.ablation()
+	case "calibrate":
+		return cfg.calibrate()
 	case "all":
 		for _, c := range []string{"table2", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table3", "ablation"} {
 			if err := run(cfg, c); err != nil {
@@ -80,7 +84,7 @@ func run(cfg *runConfig, cmd string) error {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: experiments [-scale small|medium|full] [-seed N] <experiment>...
 
-experiments: table2 fig11 fig12 fig13 fig14 fig15 fig16 table3 ablation all
+experiments: table2 fig11 fig12 fig13 fig14 fig15 fig16 table3 ablation calibrate all
 %s`, strings.TrimLeft(`
 Each experiment prints the rows/series of the corresponding table or
 figure of the Pass-Join paper (PVLDB 5(3), 2011).

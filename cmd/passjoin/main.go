@@ -5,9 +5,18 @@
 //	passjoin -tau 2 -parallel 8 r.txt s.txt     parallel probe workers (both join kinds)
 //	passjoin -tau 3 -query-tau 1 strings.txt    join at 1 over an index partitioned for 3
 //	passjoin -tau 2 -algo edjoin -q 3 in.txt    baseline algorithms
+//	passjoin -tau 2 -engine triejoin in.txt     registry engines (exact, any name)
+//	passjoin -tau 2 -engine auto in.txt         cost-based planner picks the engine
 //
 // Input files contain one string per line. Output is one result pair per
 // line: the two (0-based) line numbers and the two strings, tab-separated.
+//
+// -engine routes through the internal/engine registry — the same names,
+// construction and planner the library's WithEngine option and the
+// server's ?engine= parameter use — and prints the engine that actually
+// ran (what "auto" resolved to) in the summary line. -algo predates it
+// and keeps the per-algorithm knobs (-q, -selection, -verify); the two
+// are mutually exclusive.
 //
 // -query-tau answers the join at a threshold below -tau using the index
 // partitioned for -tau (exact via the pigeonhole bound) — the CLI
@@ -25,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +42,7 @@ import (
 	"passjoin/internal/core"
 	"passjoin/internal/dataset"
 	"passjoin/internal/edjoin"
+	"passjoin/internal/engine"
 	"passjoin/internal/metrics"
 	"passjoin/internal/ngpp"
 	"passjoin/internal/partenum"
@@ -42,6 +53,7 @@ import (
 func main() {
 	tau := flag.Int("tau", 2, "edit-distance threshold")
 	algo := flag.String("algo", "passjoin", "join algorithm: passjoin, edjoin, allpairs, triejoin, triesearch, ngpp, partenum")
+	engineName := flag.String("engine", "", "registry engine: "+strings.Join(engine.Names(), ", ")+" (supersedes -algo)")
 	sel := flag.String("selection", "multimatch", "pass-join substring selection: multimatch, position, shift, length")
 	ver := flag.String("verify", "shareprefix", "pass-join verification: shareprefix, extension, lengthaware, naive")
 	q := flag.Int("q", 3, "gram length for edjoin/allpairs/partenum")
@@ -69,9 +81,22 @@ func main() {
 		}
 	}
 
+	ran := *algo
+	if *engineName != "" {
+		explicitAlgo := false
+		flag.Visit(func(f *flag.Flag) { explicitAlgo = explicitAlgo || f.Name == "algo" })
+		if explicitAlgo {
+			fatal(fmt.Errorf("-engine and -algo are mutually exclusive"))
+		}
+	}
 	st := &metrics.Stats{}
 	start := time.Now()
-	pairs, err := runJoin(strs, sset, *tau, *queryTau, *algo, *sel, *ver, *q, *parallel, st)
+	var pairs []core.Pair
+	if *engineName != "" {
+		pairs, ran, err = runEngine(strs, sset, *tau, *engineName, st)
+	} else {
+		pairs, err = runJoin(strs, sset, *tau, *queryTau, *algo, *sel, *ver, *q, *parallel, st)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -89,10 +114,31 @@ func main() {
 		w.Flush()
 	}
 	fmt.Fprintf(os.Stderr, "passjoin: %d pairs in %v (%d strings, tau=%d, algo=%s)\n",
-		len(pairs), elapsed.Round(time.Millisecond), len(strs)+len(sset), *tau, *algo)
+		len(pairs), elapsed.Round(time.Millisecond), len(strs)+len(sset), *tau, ran)
 	if *showStats {
 		fmt.Fprintln(os.Stderr, "stats:", st)
 	}
+}
+
+// runEngine answers the join through the engine registry: explicit names
+// run as-is, "auto" consults the cost-based planner. The second return is
+// the engine that actually ran. Two-set joins use the disjoint-union
+// reduction, so every engine answers both join kinds.
+func runEngine(strs, sset []string, tau int, name string, st *metrics.Stats) ([]core.Pair, string, error) {
+	planCorpus := strs
+	if sset != nil && name == engine.Auto {
+		planCorpus = append(append(make([]string, 0, len(strs)+len(sset)), strs...), sset...)
+	}
+	e, err := engine.Resolve(name, planCorpus, tau)
+	if err != nil {
+		return nil, name, err
+	}
+	if sset != nil {
+		pairs, err := engine.RSJoin(e, strs, sset, tau, st)
+		return pairs, e.Name(), err
+	}
+	pairs, err := e.SelfJoin(strs, tau, st)
+	return pairs, e.Name(), err
 }
 
 func runJoin(strs, sset []string, tau, queryTau int, algo, sel, ver string, q, parallel int, st *metrics.Stats) ([]core.Pair, error) {

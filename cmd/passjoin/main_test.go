@@ -1,9 +1,12 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"passjoin/internal/bruteforce"
+	"passjoin/internal/dataset"
+	"passjoin/internal/engine"
 	"passjoin/internal/metrics"
 )
 
@@ -19,6 +22,73 @@ func TestRunJoinAllAlgorithms(t *testing.T) {
 		}
 		if len(pairs) != want {
 			t.Errorf("%s: %d pairs, want %d", algo, len(pairs), want)
+		}
+	}
+}
+
+// Golden test for -engine: every registry name (and "auto") must produce
+// exactly the pair list the default pass-join path prints, in the same
+// order, and report the engine that actually ran.
+func TestRunEngineMatchesPassjoinOutput(t *testing.T) {
+	strs := dataset.Author(200, 3)
+	want, err := runJoin(strs, nil, 2, -1, "passjoin", "multimatch", "shareprefix", 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range append(engine.Names(), "") {
+		st := &metrics.Stats{}
+		pairs, ran, err := runEngine(strs, nil, 2, name, st)
+		if err != nil {
+			t.Fatalf("-engine %s: %v", name, err)
+		}
+		if name != "auto" && name != "" && ran != name {
+			t.Errorf("-engine %s: summary reports %q", name, ran)
+		}
+		if (name == "auto" || name == "") && (ran == "" || ran == "auto") {
+			t.Errorf("-engine %q: summary reports %q, want a concrete engine", name, ran)
+		}
+		if len(pairs) != len(want) {
+			t.Fatalf("-engine %s: %d pairs, want %d", name, len(pairs), len(want))
+		}
+		for i := range want {
+			if pairs[i] != want[i] {
+				t.Fatalf("-engine %s: pair %d = %v, want %v", name, i, pairs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunEngineTwoSets(t *testing.T) {
+	r := []string{"vldb", "sigmod", "icde"}
+	s := []string{"pvldb", "sigmmod", "icdm", "vldbj"}
+	want, err := runJoin(r, s, 2, -1, "passjoin", "multimatch", "shareprefix", 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range engine.Names() {
+		pairs, _, err := runEngine(r, s, 2, name, nil)
+		if err != nil {
+			t.Fatalf("-engine %s: %v", name, err)
+		}
+		if len(pairs) != len(want) {
+			t.Fatalf("-engine %s: %d pairs, want %d", name, len(pairs), len(want))
+		}
+		for i := range want {
+			if pairs[i] != want[i] {
+				t.Fatalf("-engine %s: pair %d = %v, want %v", name, i, pairs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunEngineUnknownName(t *testing.T) {
+	_, _, err := runEngine(corpus, nil, 2, "nope", nil)
+	if err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	for _, name := range engine.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
 		}
 	}
 }

@@ -1,0 +1,104 @@
+package passjoin_test
+
+// The cross-engine conformance suite: every engine the registry exposes
+// (and the planner's "auto") must return the identical pair set as the
+// default Pass-Join path through the *public* API, on every corpus
+// regime the repository knows about — the paper's three corpora, the
+// small-alphabet DNA regime, the adversarial corpora, and the degenerate
+// edge cases (empty corpus, mass duplicates, strings shorter than the
+// threshold). This is the load-bearing contract of the engine subsystem:
+// engines may differ only in cost, never in answers.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"passjoin"
+	"passjoin/internal/dataset"
+)
+
+func TestEngineConformance(t *testing.T) {
+	for _, reg := range dataset.JoinRegimes(7) {
+		for _, tau := range reg.Taus {
+			want, err := passjoin.SelfJoin(reg.Strs, tau)
+			if err != nil {
+				t.Fatalf("%s/tau=%d: reference join: %v", reg.Name, tau, err)
+			}
+			for _, name := range passjoin.Engines() {
+				t.Run(fmt.Sprintf("%s/tau=%d/%s", reg.Name, tau, name), func(t *testing.T) {
+					var st passjoin.Stats
+					got, err := passjoin.SelfJoin(reg.Strs, tau, passjoin.WithEngine(name), passjoin.WithStats(&st))
+					if err != nil {
+						t.Fatalf("engine %s: %v", name, err)
+					}
+					if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+						t.Fatalf("engine %s: %d pairs, want %d (pair sets differ)", name, len(got), len(want))
+					}
+					if st.Engine == "" {
+						t.Fatalf("engine %s: Stats.Engine not reported", name)
+					}
+					if name != "auto" && st.Engine != name {
+						t.Fatalf("engine %s: Stats.Engine = %q", name, st.Engine)
+					}
+				})
+			}
+		}
+	}
+}
+
+// The streaming forms must re-deliver exactly the materialized pair set,
+// in order, for a materializing engine.
+func TestEngineStreamingMatchesMaterialized(t *testing.T) {
+	strs := dataset.Author(200, 11)
+	want, err := passjoin.SelfJoin(strs, 2, passjoin.WithEngine("triejoin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []passjoin.Pair
+	err = passjoin.SelfJoinEach(strs, 2, func(r, s int) bool {
+		got = append(got, passjoin.Pair{R: r, S: s})
+		return true
+	}, passjoin.WithEngine("triejoin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed %d pairs != materialized %d", len(got), len(want))
+	}
+	// Early stop still honored on the drain path.
+	n := 0
+	err = passjoin.SelfJoinEach(strs, 2, func(r, s int) bool {
+		n++
+		return n < 3
+	}, passjoin.WithEngine("triejoin"))
+	if err != nil || n != 3 {
+		t.Fatalf("early stop: n=%d err=%v", n, err)
+	}
+}
+
+// R×S joins run through the disjoint-union reduction for every engine
+// and must agree with Pass-Join's native R×S path.
+func TestEngineRSJoinConformance(t *testing.T) {
+	rset := dataset.Author(120, 3)
+	sset := dataset.Author(150, 4)
+	want, err := passjoin.Join(rset, sset, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range passjoin.Engines() {
+		got, err := passjoin.Join(rset, sset, 2, passjoin.WithEngine(name))
+		if err != nil {
+			t.Fatalf("engine %s: %v", name, err)
+		}
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("engine %s: %d pairs, want %d (pair sets differ)", name, len(got), len(want))
+		}
+	}
+}
+
+func TestWithEngineUnknownName(t *testing.T) {
+	if _, err := passjoin.SelfJoin([]string{"a"}, 1, passjoin.WithEngine("nope")); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package engine
+
+import (
+	"testing"
+
+	"passjoin/internal/dataset"
+)
+
+// BenchmarkEngineJoin compares every engine on one small canonical
+// regime (author names, tau=2) and reports ns/pair — the engine-
+// comparison trajectory recorded in BENCH_engines.json and smoked in CI.
+func BenchmarkEngineJoin(b *testing.B) {
+	strs := dataset.Author(1000, 1)
+	for _, e := range All() {
+		b.Run(e.Name(), func(b *testing.B) {
+			var pairs int
+			for i := 0; i < b.N; i++ {
+				got, err := e.SelfJoin(strs, 2, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pairs = len(got)
+			}
+			if pairs > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(pairs), "ns/pair")
+			}
+		})
+	}
+}

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"passjoin/internal/bruteforce"
+	"passjoin/internal/core"
+	"passjoin/internal/dataset"
+	"passjoin/internal/metrics"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"passjoin", "edjoin", "allpairs", "qgram", "triejoin", "ngpp", "partenum", Auto} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Names() missing %q: %v", want, names)
+		}
+	}
+	for _, e := range All() {
+		if e.Name() == Auto {
+			t.Error("the auto pseudo-engine must not be registered")
+		}
+		got, err := Get(e.Name())
+		if err != nil || got != e {
+			t.Errorf("Get(%q) = %v, %v", e.Name(), got, err)
+		}
+	}
+	if Valid("nope") || !Valid(Auto) || !Valid(Default) {
+		t.Error("Valid misclassifies names")
+	}
+}
+
+func TestGetUnknownListsValidNames(t *testing.T) {
+	_, err := Get("nope")
+	if err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	strs := dataset.Author(50, 1)
+	if e, err := Resolve("", strs, 2); err != nil || e.Name() != Default {
+		t.Errorf("Resolve(\"\") = %v, %v", e, err)
+	}
+	if e, err := Resolve("triejoin", nil, 2); err != nil || e.Name() != "triejoin" {
+		t.Errorf("Resolve(triejoin) = %v, %v", e, err)
+	}
+	e, err := Resolve(Auto, strs, 2)
+	if err != nil || e == nil {
+		t.Fatalf("Resolve(auto) = %v, %v", e, err)
+	}
+	if e.Name() == Auto {
+		t.Error("auto resolved to itself")
+	}
+	if _, err := Resolve("nope", strs, 2); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	st := Sample([]string{"ACGT", "AC", "ACGTACGT"})
+	if st.N != 3 || st.MinLen != 2 || st.MaxLen != 8 || st.AlphabetSize != 4 || st.Sampled != 3 {
+		t.Fatalf("Sample = %+v", st)
+	}
+	if got := Sample(nil); got.N != 0 || got.AlphabetSize != 0 {
+		t.Fatalf("Sample(nil) = %+v", got)
+	}
+	// Large corpora sample a bounded, deterministic subset.
+	big := dataset.Author(10_000, 2)
+	a, b := Sample(big), Sample(big)
+	if a != b {
+		t.Fatal("Sample is not deterministic")
+	}
+	if a.Sampled > sampleCap+1 {
+		t.Fatalf("sampled %d strings, cap %d", a.Sampled, sampleCap)
+	}
+}
+
+func TestCapsRejects(t *testing.T) {
+	st := CorpusStats{N: 10, MinLen: 1, MaxLen: 20, AvgLen: 10, AlphabetSize: 26}
+	if err := (Caps{Q: 2}).Rejects(st, 2); err == nil {
+		t.Error("gram engine accepted on corpus with strings shorter than q")
+	}
+	st.MinLen = 5
+	if err := (Caps{Q: 2}).Rejects(st, 2); err != nil {
+		t.Errorf("admissible gram engine rejected: %v", err)
+	}
+	if err := (Caps{MaxPlanTau: 2}).Rejects(st, 3); err == nil {
+		t.Error("tau above MaxPlanTau accepted")
+	}
+	if err := (Caps{}).Rejects(st, 100); err != nil {
+		t.Errorf("unconstrained caps rejected: %v", err)
+	}
+}
+
+// RSJoin's disjoint-union reduction must agree with the brute-force R×S
+// join for every engine.
+func TestRSJoinMatchesBruteForce(t *testing.T) {
+	rset := dataset.Author(60, 5)
+	sset := dataset.Author(80, 6)
+	want := map[core.Pair]bool{}
+	for _, p := range bruteforce.Join(rset, sset, 2) {
+		want[core.Pair{R: p.R, S: p.S}] = true
+	}
+	for _, e := range All() {
+		got, err := RSJoin(e, rset, sset, 2, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: %d pairs, want %d", e.Name(), len(got), len(want))
+			continue
+		}
+		for _, p := range got {
+			if !want[p] {
+				t.Errorf("%s: spurious pair %v", e.Name(), p)
+				break
+			}
+		}
+	}
+}
+
+// Engines must accept a stats sink without disturbing their results.
+func TestEnginesFillStats(t *testing.T) {
+	strs := dataset.Author(100, 8)
+	for _, e := range All() {
+		var st metrics.Stats
+		if _, err := e.SelfJoin(strs, 2, &st); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package engine
+
+// Calibrated cost-model coefficients: measured nanoseconds per feature
+// unit for each engine, the scale factors that turn planner.go's analytic
+// work shapes into comparable cost estimates.
+//
+// Regenerate with the calibration harness:
+//
+//	go run ./cmd/experiments calibrate
+//
+// which joins every calibration regime (short names, medium query-log
+// strings, long author+title strings, a DNA-like small-alphabet corpus)
+// at tau 1–3 with every admissible engine, divides measured wall time by
+// the engine's feature value, and prints this table (median across
+// regimes) ready to paste. Absolute values are machine-dependent; the
+// planner only compares products, so a uniform CPU-speed factor cancels.
+var coefficients = map[string]float64{
+	"allpairs": 58,
+	"edjoin":   217,
+	"ngpp":     236,
+	"partenum": 158,
+	"passjoin": 53,
+	"qgram":    230,
+	"triejoin": 223,
+}
+
+// defaultCoefficient keeps an engine registered without a calibration
+// entry comparable rather than free or unreachable.
+const defaultCoefficient = 50
+
+// Coefficient returns the calibrated ns-per-unit scale for an engine —
+// exported for the calibration harness, which needs to divide measured
+// time by the unscaled feature value.
+func Coefficient(name string) float64 {
+	if c, ok := coefficients[name]; ok {
+		return c
+	}
+	return defaultCoefficient
+}

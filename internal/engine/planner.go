@@ -1,0 +1,85 @@
+package engine
+
+import "math"
+
+// Choose picks the engine for a corpus: the admissible engine with the
+// lowest modeled cost. The decision is a pure function of (CorpusStats,
+// tau) — deterministic for a fixed corpus — and never selects an engine
+// whose Caps reject the input. Pass-Join has no caps, so there is always
+// at least one admissible engine and Choose never fails.
+//
+// tau <= 0 and the empty corpus short-circuit to the default: with no
+// work to model, the robust engine is the right answer.
+func Choose(st CorpusStats, tau int) Engine {
+	if tau <= 0 || st.N == 0 {
+		return registry[Default]
+	}
+	var best Engine
+	bestCost := math.Inf(1)
+	for _, e := range All() { // sorted by name: deterministic tie-break
+		if e.Caps().Rejects(st, tau) != nil {
+			continue
+		}
+		if c := Cost(e, st, tau); c < bestCost {
+			best, bestCost = e, c
+		}
+	}
+	return best
+}
+
+// Cost is the planner's modeled cost of running e on the corpus, in
+// (calibrated) nanoseconds: an analytic per-string work feature scaled by
+// the engine's measured ns-per-unit coefficient from model.go. Returns
+// +Inf for engines the corpus rejects.
+func Cost(e Engine, st CorpusStats, tau int) float64 {
+	if e.Caps().Rejects(st, tau) != nil {
+		return math.Inf(1)
+	}
+	return Coefficient(e.Name()) * feature(e.Name(), st, tau)
+}
+
+// feature is the analytic work estimate — the per-string cost shape that
+// separates the regimes — for one engine. The shapes encode what the
+// paper's evaluation (§6.4) and the repo's own benchmarks establish:
+//
+//   - Pass-Join's selection cost grows with (τ+1)² substrings per string
+//     and mildly with length (segment lists of longer strings).
+//   - Gram joins pay gram extraction and ordering over the whole string
+//     (∝ length) but prune candidates well on long strings; their prefix
+//     length grows with qτ.
+//   - Trie-Join's active-node set grows geometrically in the error
+//     budget, with a base that rises mildly with the alphabet (measured
+//     ~2–4 across DNA-like to full-byte corpora) and per-node work that
+//     tracks string length.
+//   - NGPP generates ⌊τ/2⌋+1 parts × O(part length) one-deletion
+//     neighborhoods per string.
+//   - Part-Enum indexes k+1 = 2qτ+1 partition signatures per string and
+//     its selectivity degrades super-linearly in τ.
+//
+// Absolute values are meaningless; only the calibrated products are
+// compared.
+func feature(name string, st CorpusStats, tau int) float64 {
+	n := float64(st.N)
+	l := math.Max(st.AvgLen, 1)
+	t := float64(tau)
+	alpha := math.Max(float64(st.AlphabetSize), 2)
+	switch name {
+	case "passjoin":
+		return n * (t + 1) * (t + 1) * math.Sqrt(l)
+	case "edjoin":
+		return n * l * (2*t + 1)
+	case "allpairs":
+		return n * l * (2*t + 1) * 2
+	case "qgram":
+		return n * l * (3*t + 1) * 0.5
+	case "triejoin":
+		return n * l * math.Pow(2+math.Min(alpha, 32)/16, t)
+	case "ngpp":
+		return n * l * (t/2 + 1) * (t + 1)
+	case "partenum":
+		return n * (4*t + 1) * math.Pow(2, 2*t)
+	}
+	// Unknown engines (none today) get a neutral linear cost so a future
+	// registration without a feature shape still participates sanely.
+	return n * l
+}

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"passjoin/internal/dataset"
+)
+
+// Choose is a pure function of (stats, tau): the same corpus must yield
+// the same engine every time.
+func TestChooseDeterministic(t *testing.T) {
+	corpora := [][]string{
+		dataset.Author(300, 1),
+		dataset.QueryLog(100, 2),
+		dataset.DNA(200, 3),
+	}
+	for _, strs := range corpora {
+		for tau := 1; tau <= 4; tau++ {
+			first := Choose(Sample(strs), tau).Name()
+			for i := 0; i < 5; i++ {
+				if got := Choose(Sample(strs), tau).Name(); got != first {
+					t.Fatalf("tau=%d: Choose flapped %q -> %q", tau, first, got)
+				}
+			}
+		}
+	}
+}
+
+// The planner must never select an engine whose constraint metadata
+// rejects the input, across a grid of corpus shapes and thresholds —
+// including corpora with strings shorter than any gram length and
+// thresholds beyond Part-Enum's planning cap.
+func TestChooseHonorsConstraints(t *testing.T) {
+	shapes := []CorpusStats{
+		{N: 1000, MinLen: 1, MaxLen: 40, AvgLen: 12, AlphabetSize: 26},   // shorter than any q
+		{N: 1000, MinLen: 2, MaxLen: 40, AvgLen: 15, AlphabetSize: 26},   // shorter than q=3
+		{N: 1000, MinLen: 10, MaxLen: 25, AvgLen: 17, AlphabetSize: 4},   // DNA-like
+		{N: 500, MinLen: 30, MaxLen: 900, AvgLen: 105, AlphabetSize: 60}, // long strings
+		{N: 0}, // empty corpus
+		{N: 3, MinLen: 5, MaxLen: 5, AvgLen: 5, AlphabetSize: 3},
+	}
+	for _, st := range shapes {
+		for tau := 0; tau <= 6; tau++ {
+			e := Choose(st, tau)
+			if e == nil {
+				t.Fatalf("Choose(%+v, %d) returned no engine", st, tau)
+			}
+			if err := e.Caps().Rejects(st, tau); err != nil {
+				t.Errorf("Choose(%+v, %d) = %s, whose caps reject the input: %v", st, tau, e.Name(), err)
+			}
+		}
+	}
+}
+
+// Cost must be +Inf exactly for rejected engines and finite otherwise.
+func TestCostInfiniteWhenRejected(t *testing.T) {
+	st := CorpusStats{N: 100, MinLen: 1, MaxLen: 5, AvgLen: 3, AlphabetSize: 4}
+	for _, e := range All() {
+		c := Cost(e, st, 3)
+		rejected := e.Caps().Rejects(st, 3) != nil
+		if rejected != math.IsInf(c, 1) {
+			t.Errorf("%s: rejected=%v but cost=%v", e.Name(), rejected, c)
+		}
+	}
+}
+
+// Regression pins for the calibrated model: "auto"'s choice on the three
+// canonical regimes of the paper's evaluation. These encode what the
+// current coefficients in model.go imply — the reproduction's Pass-Join
+// implementation measures fastest on all three corpora, exactly the
+// paper's §6.4 result, so the planner resolves "auto" to it. If a
+// recalibration (cmd/experiments calibrate) or a feature-shape change
+// silently shifts these decisions, this test fails loudly and the new
+// choices must be reviewed and re-pinned deliberately.
+func TestChooseCanonicalRegimes(t *testing.T) {
+	cases := []struct {
+		regime string
+		strs   []string
+		tau    int
+		want   string
+	}{
+		{"author (short names)", dataset.Author(2000, 1), 2, "passjoin"},
+		{"querylog (medium queries)", dataset.QueryLog(800, 1), 3, "passjoin"},
+		{"authortitle (long strings)", dataset.AuthorTitle(500, 1), 3, "passjoin"},
+	}
+	for _, c := range cases {
+		if got := Choose(Sample(c.strs), c.tau).Name(); got != c.want {
+			t.Errorf("%s tau=%d: auto picks %q, pinned %q — recalibrate deliberately, not silently",
+				c.regime, c.tau, got, c.want)
+		}
+	}
+}
+
+// tau=0 and the empty corpus short-circuit to the default engine.
+func TestChooseDegenerate(t *testing.T) {
+	if got := Choose(CorpusStats{}, 2).Name(); got != Default {
+		t.Errorf("empty corpus: %q", got)
+	}
+	if got := Choose(Sample(dataset.Author(100, 1)), 0).Name(); got != Default {
+		t.Errorf("tau=0: %q", got)
+	}
+}

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"passjoin/internal/core"
+	"passjoin/internal/edjoin"
+	"passjoin/internal/metrics"
+	"passjoin/internal/ngpp"
+	"passjoin/internal/partenum"
+	"passjoin/internal/triejoin"
+)
+
+// Auto is the pseudo-engine name that defers the choice to the planner.
+// It is accepted everywhere an engine name is (Valid, Resolve) but never
+// appears in the registry itself: Resolve replaces it with a concrete
+// engine before any work runs.
+const Auto = "auto"
+
+// Default is the engine used when no explicit choice is made: Pass-Join,
+// the paper's algorithm and the planner's always-admissible fallback.
+const Default = "passjoin"
+
+// joinFunc adapts a plain join function plus metadata into an Engine.
+type joinFunc struct {
+	name string
+	caps Caps
+	join func(strs []string, tau int, st *metrics.Stats) ([]core.Pair, error)
+}
+
+func (e *joinFunc) Name() string { return e.name }
+func (e *joinFunc) Caps() Caps   { return e.caps }
+func (e *joinFunc) SelfJoin(strs []string, tau int, st *metrics.Stats) ([]core.Pair, error) {
+	return e.join(strs, tau, st)
+}
+
+// registry maps every engine name to its construction — the single
+// source of truth shared by the public API, the HTTP server, the CLI and
+// the conformance tests. Engines are stateless values, safe for
+// concurrent use.
+var registry = func() map[string]Engine {
+	engines := []*joinFunc{
+		{
+			// Pass-Join (§3–§5 of the paper): partition into tau+1
+			// segments, probe with multi-match-aware substring selection,
+			// verify with shared-prefix extension. The robust default.
+			name: "passjoin",
+			join: func(strs []string, tau int, st *metrics.Stats) ([]core.Pair, error) {
+				return core.SelfJoin(strs, core.Options{Tau: tau, Stats: st})
+			},
+		},
+		{
+			// ED-Join (Xiao/Wang/Lin, PVLDB 2008): positional q-gram
+			// prefix filtering with location-based prefix shortening and
+			// mismatch/content filters. The strongest gram baseline;
+			// competitive on long strings.
+			name: "edjoin",
+			caps: Caps{Q: 2},
+			join: func(strs []string, tau int, st *metrics.Stats) ([]core.Pair, error) {
+				return edjoin.Join(strs, tau, 2, st)
+			},
+		},
+		{
+			// All-Pairs-Ed (Bayardo/Ma/Srikant, WWW 2007): plain
+			// count-based gram prefix filtering, no mismatch filters.
+			name: "allpairs",
+			caps: Caps{Q: 2},
+			join: func(strs []string, tau int, st *metrics.Stats) ([]core.Pair, error) {
+				return edjoin.JoinConfig(strs, tau, edjoin.Config{Q: 2}, st)
+			},
+		},
+		{
+			// Plain positional q-gram prefix join at q=3 — All-Pairs-Ed
+			// with the longer grams that favor long-string corpora, where
+			// 3-grams are far more selective than 2-grams.
+			name: "qgram",
+			caps: Caps{Q: 3},
+			join: func(strs []string, tau int, st *metrics.Stats) ([]core.Pair, error) {
+				return edjoin.JoinConfig(strs, tau, edjoin.Config{Q: 3, LocationPrefix: true}, st)
+			},
+		},
+		{
+			// Trie-Join (Wang/Feng/Li, PVLDB 2010): dual subtrie pruning
+			// over a shared trie. Wins on short strings over small
+			// alphabets, where subtries collapse early.
+			name: "triejoin",
+			join: func(strs []string, tau int, st *metrics.Stats) ([]core.Pair, error) {
+				return triejoin.Join(strs, tau, st)
+			},
+		},
+		{
+			// NGPP (Wang/Xiao/Lin/Zhang, SIGMOD 2009): partition +
+			// one-deletion neighborhood generation, the method whose
+			// shift-based selection §4 of the Pass-Join paper extends.
+			name: "ngpp",
+			join: func(strs []string, tau int, st *metrics.Stats) ([]core.Pair, error) {
+				return ngpp.Join(strs, tau, st)
+			},
+		},
+		{
+			// Part-Enum (Arasu/Ganti/Kaushik, VLDB 2006): gram-vector
+			// partitioning under the Hamming bound 2qτ. Signature
+			// selectivity collapses as tau grows, hence the planning cap.
+			name: "partenum",
+			caps: Caps{Q: 2, MaxPlanTau: 2},
+			join: func(strs []string, tau int, st *metrics.Stats) ([]core.Pair, error) {
+				return partenum.Join(strs, tau, 2, st)
+			},
+		},
+	}
+	m := make(map[string]Engine, len(engines))
+	for _, e := range engines {
+		m[e.name] = e
+	}
+	return m
+}()
+
+// Get returns the named engine. The pseudo-name "auto" is not resolvable
+// here — it needs a corpus; use Resolve.
+func Get(name string) (Engine, error) {
+	if e, ok := registry[name]; ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("engine: unknown engine %q (valid: %s)", name, strings.Join(Names(), ", "))
+}
+
+// All returns every registered engine, sorted by name.
+func All() []Engine {
+	out := make([]Engine, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Names returns every acceptable engine name — the registry plus "auto"
+// — sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry)+1)
+	for name := range registry {
+		out = append(out, name)
+	}
+	out = append(out, Auto)
+	sort.Strings(out)
+	return out
+}
+
+// Valid reports whether name is an acceptable engine name ("auto"
+// included).
+func Valid(name string) bool {
+	if name == Auto {
+		return true
+	}
+	_, ok := registry[name]
+	return ok
+}
+
+// Resolve maps an engine name to the concrete engine that will run on
+// the given corpus: a registry lookup for explicit names, the planner's
+// cost-model choice for "auto". The empty name resolves to the default.
+func Resolve(name string, strs []string, tau int) (Engine, error) {
+	switch name {
+	case "":
+		return registry[Default], nil
+	case Auto:
+		return Choose(Sample(strs), tau), nil
+	}
+	return Get(name)
+}

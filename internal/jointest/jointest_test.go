@@ -1,39 +1,44 @@
 // Package jointest cross-validates every join algorithm in the repository
-// on the realistic corpus generators: Pass-Join (all variants), ED-Join,
-// All-Pairs-Ed, Trie-Join, Part-Enum and brute force must agree exactly.
-// This is the integration-level counterpart of the per-package equivalence
-// tests, run on the same string regimes as the paper's evaluation.
+// on the realistic corpus generators: all engines in the internal/engine
+// registry (Pass-Join, ED-Join, All-Pairs-Ed, positional q-grams,
+// Trie-Join, NGPP, Part-Enum) plus the Pass-Join selection/verification
+// variants must agree exactly with brute force. This is the
+// integration-level counterpart of the per-package equivalence tests, run
+// on the same string regimes as the paper's evaluation — the regimes
+// themselves live in internal/dataset so the conformance suite, the
+// fuzzer and the planner calibration harness all draw from one source.
 package jointest
 
 import (
 	"fmt"
 	"testing"
 
-	"passjoin/internal/allpairs"
 	"passjoin/internal/bruteforce"
 	"passjoin/internal/core"
 	"passjoin/internal/dataset"
-	"passjoin/internal/edjoin"
-	"passjoin/internal/ngpp"
-	"passjoin/internal/partenum"
+	"passjoin/internal/engine"
 	"passjoin/internal/selection"
 	"passjoin/internal/triejoin"
 )
 
 type joinFunc func(strs []string, tau int) ([]core.Pair, error)
 
+// joiners routes every registered engine through the registry — one
+// source of truth for engine construction — and adds the variants the
+// registry does not expose: the trie search mode, the parallel Pass-Join
+// path, and the selection×verification grid.
 func joiners() map[string]joinFunc {
 	out := map[string]joinFunc{
-		"edjoin-q2":  func(s []string, tau int) ([]core.Pair, error) { return edjoin.Join(s, tau, 2, nil) },
-		"edjoin-q3":  func(s []string, tau int) ([]core.Pair, error) { return edjoin.Join(s, tau, 3, nil) },
-		"allpairs":   func(s []string, tau int) ([]core.Pair, error) { return allpairs.Join(s, tau, 2, nil) },
-		"triejoin":   func(s []string, tau int) ([]core.Pair, error) { return triejoin.Join(s, tau, nil) },
 		"triesearch": func(s []string, tau int) ([]core.Pair, error) { return triejoin.JoinSearch(s, tau, nil) },
-		"ngpp":       func(s []string, tau int) ([]core.Pair, error) { return ngpp.Join(s, tau, nil) },
-		"partenum":   func(s []string, tau int) ([]core.Pair, error) { return partenum.Join(s, tau, 2, nil) },
 		"passjoin-parallel": func(s []string, tau int) ([]core.Pair, error) {
 			return core.SelfJoin(s, core.Options{Tau: tau, Parallel: 4})
 		},
+	}
+	for _, e := range engine.All() {
+		e := e
+		out["engine-"+e.Name()] = func(s []string, tau int) ([]core.Pair, error) {
+			return e.SelfJoin(s, tau, nil)
+		}
 	}
 	for _, sel := range selection.Methods {
 		for _, vk := range core.VerifyKinds {
@@ -46,90 +51,31 @@ func joiners() map[string]joinFunc {
 	return out
 }
 
-func TestAllJoinersAgreeOnEvaluationCorpora(t *testing.T) {
-	cases := []struct {
-		corpus string
-		n      int
-		taus   []int
-	}{
-		{"author", 400, []int{1, 2, 3}},
-		{"querylog", 150, []int{4, 6}},
-		{"authortitle", 80, []int{6, 8}},
-	}
-	for _, c := range cases {
-		strs, err := dataset.ByName(c.corpus, c.n, 5)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, tau := range c.taus {
+// TestAllJoinersAgreeOnConformanceRegimes runs every joiner over the
+// shared conformance regimes — the paper's evaluation corpora, the DNA
+// small-alphabet regime, and the adversarial corpora (shared segments,
+// binary bytes, mass duplicates, very long strings, empty corpus,
+// strings shorter than tau) — and checks the exact pair set against
+// brute force.
+func TestAllJoinersAgreeOnConformanceRegimes(t *testing.T) {
+	for _, regime := range dataset.JoinRegimes(5) {
+		for _, tau := range regime.Taus {
 			want := make(map[core.Pair]bool)
-			for _, p := range bruteforce.SelfJoin(strs, tau) {
+			for _, p := range bruteforce.SelfJoin(regime.Strs, tau) {
 				want[core.Pair{R: p.R, S: p.S}] = true
 			}
 			for name, join := range joiners() {
-				got, err := join(strs, tau)
+				got, err := join(regime.Strs, tau)
 				if err != nil {
-					t.Fatalf("%s/%s/tau=%d: %v", c.corpus, name, tau, err)
+					t.Fatalf("%s/%s/tau=%d: %v", regime.Name, name, tau, err)
 				}
 				if len(got) != len(want) {
-					t.Errorf("%s/%s/tau=%d: %d pairs, want %d", c.corpus, name, tau, len(got), len(want))
+					t.Errorf("%s/%s/tau=%d: %d pairs, want %d", regime.Name, name, tau, len(got), len(want))
 					continue
 				}
 				for _, p := range got {
 					if !want[p] {
-						t.Errorf("%s/%s/tau=%d: spurious pair %v", c.corpus, name, tau, p)
-						break
-					}
-				}
-			}
-		}
-	}
-}
-
-// Adversarial corpora that stress specific machinery: long shared
-// segments (inverted-list blowup), binary bytes, very long strings, and
-// mass duplicates.
-func TestAllJoinersAgreeOnAdversarialCorpora(t *testing.T) {
-	corpora := map[string][]string{
-		"sharedSegments": {
-			"aaaaaaaaaaaabbbb", "aaaaaaaaaaaacbbb", "aaaaaaaaaaaaccbb",
-			"aaaaaaaaaaaacccb", "aaaaaaaaaaaacccc", "aaaaaaaaaaaabbbc",
-			"aaaaaaaaaaaabbcc", "aaaaaaaaaaaabccc", "baaaaaaaaaaabbbb",
-		},
-		"binaryBytes": {
-			"\x00\x01\x02\x03\x04", "\x00\x01\x02\x03\x05", "\xff\xfe\xfd\xfc\xfb",
-			"\x00\x01\x02\x04\x04", string([]byte{0, 0, 0, 0, 0}),
-		},
-		"massDuplicates": {
-			"dup", "dup", "dup", "dup", "dup", "dup", "dop", "dap", "dup!", "du",
-		},
-	}
-	long := make([]string, 0, 6)
-	base := ""
-	for i := 0; i < 400; i++ {
-		base += string(rune('a' + i%7))
-	}
-	long = append(long, base, base[:399]+"x", "x"+base[:398]+"yz", base[:200]+base[:200])
-	corpora["veryLong"] = long
-
-	for name, strs := range corpora {
-		for _, tau := range []int{1, 2, 3} {
-			want := make(map[core.Pair]bool)
-			for _, p := range bruteforce.SelfJoin(strs, tau) {
-				want[core.Pair{R: p.R, S: p.S}] = true
-			}
-			for jname, join := range joiners() {
-				got, err := join(strs, tau)
-				if err != nil {
-					t.Fatalf("%s/%s: %v", name, jname, err)
-				}
-				if len(got) != len(want) {
-					t.Errorf("%s/%s/tau=%d: %d pairs, want %d", name, jname, tau, len(got), len(want))
-					continue
-				}
-				for _, p := range got {
-					if !want[p] {
-						t.Errorf("%s/%s/tau=%d: spurious %v", name, jname, tau, p)
+						t.Errorf("%s/%s/tau=%d: spurious pair %v", regime.Name, name, tau, p)
 						break
 					}
 				}

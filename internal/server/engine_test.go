@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"passjoin"
+)
+
+// Unknown ?engine= values fail fast with a structured 400 that lists
+// every valid name, before the body is read.
+func TestJoinUnknownEngineRejected(t *testing.T) {
+	corpus := testCorpus(t, 50)
+	_, ts := newTestServer(t, corpus, 2, 1, Config{})
+	resp, closeBody := postLines(t, ts.URL+"/v1/join/self?engine=bogus", strings.Join(corpus, "\n"))
+	defer closeBody()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("error body not JSON: %v", err)
+	}
+	if !strings.Contains(e.Error, `"bogus"`) {
+		t.Errorf("error %q does not echo the bad name", e.Error)
+	}
+	for _, name := range passjoin.Engines() {
+		if !strings.Contains(e.Error, name) {
+			t.Errorf("error %q does not list valid engine %q", e.Error, name)
+		}
+	}
+}
+
+// Every engine name — "auto" included — streams the exact pair set of
+// the default join, at both serial and parallel settings, and reports
+// the engine that actually ran in the X-Join-Engine header.
+func TestJoinEngineSelectionStreamsSamePairs(t *testing.T) {
+	corpus := testCorpus(t, 300)
+	_, ts := newTestServer(t, corpus, 2, 2, Config{})
+	want, err := passjoin.SelfJoin(corpus, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range passjoin.Engines() {
+		for _, parallel := range []int{1, 4} {
+			resp, closeBody := postLines(t,
+				fmt.Sprintf("%s/v1/join/self?engine=%s&parallel=%d", ts.URL, eng, parallel),
+				strings.Join(corpus, "\n"))
+			got := decodeJoinStream(t, resp)
+			ran := resp.Header.Get("X-Join-Engine")
+			closeBody()
+			if eng == "auto" {
+				if ran == "" || ran == "auto" {
+					t.Errorf("auto: X-Join-Engine %q is not a concrete engine", ran)
+				}
+			} else if ran != eng {
+				t.Errorf("engine=%s: X-Join-Engine %q", eng, ran)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("engine=%s parallel=%d: %d pairs, want %d", eng, parallel, len(got), len(want))
+			}
+			set := make(map[pairKey]bool, len(got))
+			for _, p := range got {
+				set[pairKey{p.R, p.S}] = true
+			}
+			for _, w := range want {
+				if !set[pairKey{w.R, w.S}] {
+					t.Fatalf("engine=%s parallel=%d: missing pair (%d,%d)", eng, parallel, w.R, w.S)
+				}
+			}
+		}
+	}
+}
+
+// ?engine= works on the two-set endpoint too, via the disjoint-union
+// reduction for engines that only self-join natively.
+func TestJoinRSEngineSelection(t *testing.T) {
+	corpus := testCorpus(t, 200)
+	rset, sset := corpus[:120], corpus[120:]
+	_, ts := newTestServer(t, corpus, 2, 1, Config{})
+	want, err := passjoin.Join(rset, sset, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := strings.Join(rset, "\n") + "\n\n" + strings.Join(sset, "\n")
+	for _, eng := range []string{"edjoin", "triejoin", "auto"} {
+		resp, closeBody := postLines(t, ts.URL+"/v1/join?engine="+eng, body)
+		got := decodeJoinStream(t, resp)
+		closeBody()
+		if len(got) != len(want) {
+			t.Fatalf("engine=%s: %d pairs, want %d", eng, len(got), len(want))
+		}
+		set := make(map[pairKey]bool, len(got))
+		for _, p := range got {
+			set[pairKey{p.R, p.S}] = true
+		}
+		for _, w := range want {
+			if !set[pairKey{w.R, w.S}] {
+				t.Fatalf("engine=%s: missing pair (%d,%d)", eng, w.R, w.S)
+			}
+		}
+	}
+}
+
+// /v1/stats reports completed bulk joins per resolved engine name.
+func TestJoinStatsPerEngineCounters(t *testing.T) {
+	corpus := testCorpus(t, 80)
+	_, ts := newTestServer(t, corpus, 2, 1, Config{})
+	body := strings.Join(corpus, "\n")
+	runs := []string{"", "triejoin", "triejoin", "edjoin"}
+	for _, eng := range runs {
+		url := ts.URL + "/v1/join/self"
+		if eng != "" {
+			url += "?engine=" + eng
+		}
+		resp, closeBody := postLines(t, url, body)
+		decodeJoinStream(t, resp)
+		closeBody()
+	}
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	wantCounts := map[string]int64{"passjoin": 1, "triejoin": 2, "edjoin": 1}
+	if len(st.JoinsByEngine) != len(wantCounts) {
+		t.Fatalf("joins_by_engine = %v, want %v", st.JoinsByEngine, wantCounts)
+	}
+	for name, n := range wantCounts {
+		if st.JoinsByEngine[name] != n {
+			t.Errorf("joins_by_engine[%s] = %d, want %d", name, st.JoinsByEngine[name], n)
+		}
+	}
+}
+
+// A dropped client connection must abandon a materializing engine's run
+// promptly even though it has not streamed a single pair yet: the drain
+// goroutine parks on the engine while the handler watches the context.
+func TestJoinClientDisconnectAbandonsMaterializingEngine(t *testing.T) {
+	base := strings.Repeat("kaushik chakrabarti ", 3)
+	corpus := make([]string, 2000)
+	for i := range corpus {
+		b := []byte(base)
+		b[i%len(b)] = byte('a' + i%4)
+		corpus[i] = string(b)
+	}
+	srv, _ := newTestServer(t, corpus[:10], 2, 1, Config{})
+	handlerDone := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		srv.ServeHTTP(w, r)
+		if r.URL.Path == "/v1/join/self" {
+			close(handlerDone)
+		}
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/join/self?tau=3&engine=triejoin", strings.NewReader(strings.Join(corpus, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The materializing engine writes nothing until its whole run
+	// finishes, so response headers never arrive; issue the request on a
+	// goroutine and drop the connection once the join is underway.
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			bufio.NewReader(resp.Body).ReadString('\n')
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+	select {
+	case <-handlerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("join handler still running 10s after client disconnect")
+	}
+	<-errc
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Joins != 0 {
+		t.Fatalf("abandoned join was counted as completed (joins=%d)", st.Joins)
+	}
+	if len(st.JoinsByEngine) != 0 {
+		t.Fatalf("abandoned join counted in joins_by_engine: %v", st.JoinsByEngine)
+	}
+}

@@ -17,9 +17,13 @@
 //	POST   /v1/dedup           streaming self-dedup: text lines in,
 //	                           NDJSON near-duplicate pairs out
 //	POST   /v1/join/self       bulk self join: text lines in, NDJSON
-//	                           pair+distance records streamed out
+//	                           pair+distance records streamed out;
+//	                           &engine= picks the join algorithm ("auto"
+//	                           = cost-based planner), reported back in
+//	                           the X-Join-Engine header
 //	POST   /v1/join            bulk R×S join: two line sections separated
 //	                           by one blank line, NDJSON records out
+//	                           (&engine= supported as well)
 //	GET    /v1/stats           server counters + aggregated index stats
 //
 // When the index is mutable (implements MutableIndex), the write path is
@@ -44,11 +48,13 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"passjoin"
+	"passjoin/internal/engine"
 	"passjoin/internal/verify"
 )
 
@@ -141,6 +147,11 @@ type Server struct {
 	deletes   atomic.Int64 // documents deleted via /v1/docs/{id}
 	joins     atomic.Int64 // bulk joins run to completion
 	joinPairs atomic.Int64 // pairs streamed by completed bulk joins
+
+	// joinsByEngine counts completed bulk joins per resolved engine name
+	// (what "auto" picked, not the literal ?engine= value).
+	joinsMu       sync.Mutex
+	joinsByEngine map[string]int64
 }
 
 // New builds a server around idx. indexStats, if non-nil, is the
@@ -149,10 +160,11 @@ type Server struct {
 // reports its own live stats instead.
 func New(idx Index, indexStats *passjoin.Stats, cfg Config) *Server {
 	s := &Server{
-		idx:   idx,
-		cfg:   cfg.withDefaults(),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		idx:           idx,
+		cfg:           cfg.withDefaults(),
+		mux:           http.NewServeMux(),
+		start:         time.Now(),
+		joinsByEngine: map[string]int64{},
 	}
 	s.dyn, _ = idx.(MutableIndex)
 	if indexStats != nil {
@@ -274,26 +286,30 @@ type DocResponse struct {
 // Delta*/Tombstones/Compactions/WAL* fields describe the dynamic write
 // path and stay zero for a static index.
 type StatsResponse struct {
-	Strings       int            `json:"strings"`
-	Tau           int            `json:"tau"`
-	Shards        int            `json:"shards"`
-	Mutable       bool           `json:"mutable"`
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Queries       int64          `json:"queries"`
-	Matches       int64          `json:"matches"`
-	DedupStreams  int64          `json:"dedup_streams"`
-	Inserts       int64          `json:"inserts"`
-	Deletes       int64          `json:"deletes"`
-	Joins         int64          `json:"joins"`
-	JoinPairs     int64          `json:"join_pairs"`
-	FrozenBytes   int64          `json:"frozen_bytes"`
-	DeltaDocs     int64          `json:"delta_docs"`
-	Tombstones    int64          `json:"tombstones"`
-	Compactions   int64          `json:"compactions"`
-	WALBytes      int64          `json:"wal_bytes"`
-	WALRecords    int64          `json:"wal_records"`
-	CompactError  string         `json:"compact_error,omitempty"`
-	Index         passjoin.Stats `json:"index"`
+	Strings       int     `json:"strings"`
+	Tau           int     `json:"tau"`
+	Shards        int     `json:"shards"`
+	Mutable       bool    `json:"mutable"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Queries       int64   `json:"queries"`
+	Matches       int64   `json:"matches"`
+	DedupStreams  int64   `json:"dedup_streams"`
+	Inserts       int64   `json:"inserts"`
+	Deletes       int64   `json:"deletes"`
+	Joins         int64   `json:"joins"`
+	JoinPairs     int64   `json:"join_pairs"`
+	// JoinsByEngine counts completed bulk joins by the engine that ran
+	// them (the resolved name — "auto" never appears). Absent until the
+	// first join completes.
+	JoinsByEngine map[string]int64 `json:"joins_by_engine,omitempty"`
+	FrozenBytes   int64            `json:"frozen_bytes"`
+	DeltaDocs     int64            `json:"delta_docs"`
+	Tombstones    int64            `json:"tombstones"`
+	Compactions   int64            `json:"compactions"`
+	WALBytes      int64            `json:"wal_bytes"`
+	WALRecords    int64            `json:"wal_records"`
+	CompactError  string           `json:"compact_error,omitempty"`
+	Index         passjoin.Stats   `json:"index"`
 }
 
 type errorResponse struct {
@@ -603,11 +619,22 @@ func (s *Server) handleJoinRS(w http.ResponseWriter, r *http.Request)   { s.hand
 // R×S form, the R and S sections are separated by the first blank line
 // (later blank lines count as empty strings). ?tau= overrides the index
 // threshold and ?parallel= the probe worker count (0 or absent =
-// GOMAXPROCS, capped at 4×GOMAXPROCS). The join runs under the request
-// context, so a dropped client connection cancels the probe workers.
+// GOMAXPROCS, capped at 4×GOMAXPROCS). ?engine= selects the join
+// algorithm (any passjoin.Engines() name; "auto" plans from sampled
+// corpus statistics); the engine that actually ran is reported in the
+// X-Join-Engine response header and the per-engine /v1/stats counters.
+// The join runs under the request context, so a dropped client
+// connection cancels the probe workers — and, for a materializing
+// engine, abandons the run promptly.
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request, self bool) {
 	tau, ok := intParam(w, r, "tau", s.idx.Tau())
 	if !ok {
+		return
+	}
+	engName := r.URL.Query().Get("engine")
+	if engName != "" && !engine.Valid(engName) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown engine %q (valid: %s)", engName, strings.Join(engine.Names(), ", ")))
 		return
 	}
 	if tau < 0 {
@@ -637,6 +664,20 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request, self bool) {
 	if !ok {
 		return
 	}
+	// Resolve "auto" against the corpus the engine will actually
+	// self-join before the stream starts, so the X-Join-Engine header can
+	// carry the concrete choice.
+	planCorpus := rset
+	if !self && engName == engine.Auto {
+		planCorpus = append(append(make([]string, 0, len(rset)+len(sset)), rset...), sset...)
+	}
+	eng, err := engine.Resolve(engName, planCorpus, tau)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	engName = eng.Name()
+	w.Header().Set("X-Join-Engine", engName)
 
 	ctx := r.Context()
 	flusher, _ := w.(http.Flusher)
@@ -673,8 +714,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request, self bool) {
 		}
 		return true
 	}
-	opts := []passjoin.Option{passjoin.WithParallelism(par)}
-	var err error
+	opts := []passjoin.Option{passjoin.WithParallelism(par), passjoin.WithEngine(engName)}
 	if self {
 		err = passjoin.SelfJoinEachCtx(ctx, rset, tau, yield, opts...)
 	} else {
@@ -702,6 +742,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request, self bool) {
 	}
 	s.joins.Add(1)
 	s.joinPairs.Add(pairs)
+	s.joinsMu.Lock()
+	s.joinsByEngine[engName]++
+	s.joinsMu.Unlock()
 }
 
 // readJoinBody scans a size-capped join upload into its line sections,
@@ -754,6 +797,21 @@ func scanErrStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// joinEngineCounts snapshots the per-engine join counters; nil (omitted
+// from the JSON) when no bulk join has completed yet.
+func (s *Server) joinEngineCounts() map[string]int64 {
+	s.joinsMu.Lock()
+	defer s.joinsMu.Unlock()
+	if len(s.joinsByEngine) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s.joinsByEngine))
+	for name, n := range s.joinsByEngine {
+		out[name] = n
+	}
+	return out
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ist := s.stats
 	var compactErr string
@@ -776,6 +834,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Deletes:       s.deletes.Load(),
 		Joins:         s.joins.Load(),
 		JoinPairs:     s.joinPairs.Load(),
+		JoinsByEngine: s.joinEngineCounts(),
 		FrozenBytes:   ist.FrozenBytes,
 		DeltaDocs:     ist.DeltaDocs,
 		Tombstones:    ist.Tombstones,

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"passjoin/internal/core"
+	"passjoin/internal/engine"
+	"passjoin/internal/metrics"
 	"passjoin/internal/selection"
 )
 
@@ -98,6 +100,7 @@ type config struct {
 	shards           int
 	compactThreshold int
 	walSync          bool
+	engine           string
 }
 
 // Option customizes a join or matcher.
@@ -124,6 +127,37 @@ func WithVerification(v VerificationMethod) Option {
 		return nil
 	}
 }
+
+// WithEngine selects the join algorithm run by SelfJoin, Join and the
+// streaming forms (SelfJoinEach, JoinEach and their Ctx variants). Valid
+// names are listed by Engines: the default "passjoin" plus the paper's
+// baselines — "edjoin", "allpairs", "qgram" (gram-based prefix
+// filtering), "triejoin" (trie-based subtrie pruning), "ngpp"
+// (partition + deletion neighborhoods), "partenum" (gram-vector
+// signatures) — and "auto", which samples the corpus and picks the
+// engine with the lowest modeled cost. Every engine is exact, so the
+// result set is identical regardless of the choice; only the cost
+// differs. The engine that actually ran (including what "auto" resolved
+// to) is reported in Stats.Engine.
+//
+// Engines other than "passjoin" materialize their result set before the
+// streaming forms re-deliver it pair by pair, and they run the other
+// join options (selection, verification, parallelism) as no-ops. The
+// searcher constructors ignore this option: the search path is always
+// Pass-Join's segment index.
+func WithEngine(name string) Option {
+	return func(c *config) error {
+		if !engine.Valid(name) {
+			return fmt.Errorf("passjoin: unknown engine %q (valid: %v)", name, Engines())
+		}
+		c.engine = name
+		return nil
+	}
+}
+
+// Engines lists every engine name WithEngine accepts, sorted, "auto"
+// included.
+func Engines() []string { return engine.Names() }
 
 // WithStats attaches an instrumentation sink; it is overwritten with this
 // run's counters when the join returns.
@@ -218,6 +252,46 @@ func buildConfig(tau int, opts []Option) (config, error) {
 		}
 	}
 	return c, nil
+}
+
+// resolveEngine maps the configured engine name to the concrete engine a
+// join over strs must dispatch to, or ok=false when the default
+// Pass-Join path should run instead. "auto" is resolved here — against
+// the corpus that will actually be joined — and may itself land on
+// Pass-Join, in which case the default path runs with every option
+// (selection, verification, parallelism) honored.
+func (c config) resolveEngine(strs []string, tau int) (engine.Engine, bool, error) {
+	if c.engine == "" || c.engine == engine.Default {
+		return nil, false, nil
+	}
+	e, err := engine.Resolve(c.engine, strs, tau)
+	if err != nil {
+		return nil, false, err
+	}
+	if e.Name() == engine.Default {
+		return nil, false, nil
+	}
+	return e, true, nil
+}
+
+// resolveEngineRS is resolveEngine for R×S joins: explicit names need no
+// corpus, and "auto" is planned against the union that the engine would
+// actually self-join.
+func (c config) resolveEngineRS(rset, sset []string, tau int) (engine.Engine, bool, error) {
+	if c.engine != engine.Auto {
+		return c.resolveEngine(rset, tau)
+	}
+	union := append(append(make([]string, 0, len(rset)+len(sset)), rset...), sset...)
+	return c.resolveEngine(union, tau)
+}
+
+// statsSink prepares and returns the internal counter sink (nil when the
+// caller attached no Stats).
+func (c config) statsSink() *metrics.Stats {
+	if c.stats == nil {
+		return nil
+	}
+	return c.stats.reset()
 }
 
 func (c config) coreOptions(tau int) core.Options {

@@ -2,6 +2,7 @@ package passjoin
 
 import (
 	"passjoin/internal/core"
+	"passjoin/internal/engine"
 	"passjoin/internal/verify"
 )
 
@@ -19,32 +20,64 @@ type Pair struct {
 // Strings are treated as byte sequences; for Unicode text the threshold
 // counts byte edits, so normalize or transliterate first if rune-level
 // distances are required.
+//
+// WithEngine swaps the algorithm (or lets the planner pick one with
+// "auto"); the result set is identical for every engine.
 func SelfJoin(strs []string, tau int, opts ...Option) ([]Pair, error) {
 	cfg, err := buildConfig(tau, opts)
 	if err != nil {
 		return nil, err
+	}
+	if e, ok, err := cfg.resolveEngine(strs, tau); err != nil {
+		return nil, err
+	} else if ok {
+		pairs, err := e.SelfJoin(strs, tau, cfg.statsSink())
+		if err != nil {
+			return nil, err
+		}
+		cfg.stats.fill()
+		cfg.stats.setEngine(e.Name())
+		return convert(pairs), nil
 	}
 	pairs, err := core.SelfJoin(strs, cfg.coreOptions(tau))
 	if err != nil {
 		return nil, err
 	}
 	cfg.stats.fill()
+	cfg.stats.setEngine(engine.Default)
 	return convert(pairs), nil
 }
 
 // Join returns every pair (r, s) from rset × sset whose edit distance is
 // at most tau. Pair.R indexes rset and Pair.S indexes sset; the result is
 // exact and sorted.
+//
+// WithEngine applies here too: engines other than "passjoin" answer the
+// R×S join by self-joining the concatenated corpus and keeping the
+// cross-boundary pairs (exact, but costlier than Pass-Join's native R×S
+// path — see internal/engine.RSJoin).
 func Join(rset, sset []string, tau int, opts ...Option) ([]Pair, error) {
 	cfg, err := buildConfig(tau, opts)
 	if err != nil {
 		return nil, err
+	}
+	if e, ok, err := cfg.resolveEngineRS(rset, sset, tau); err != nil {
+		return nil, err
+	} else if ok {
+		pairs, err := engine.RSJoin(e, rset, sset, tau, cfg.statsSink())
+		if err != nil {
+			return nil, err
+		}
+		cfg.stats.fill()
+		cfg.stats.setEngine(e.Name())
+		return convert(pairs), nil
 	}
 	pairs, err := core.Join(rset, sset, cfg.coreOptions(tau))
 	if err != nil {
 		return nil, err
 	}
 	cfg.stats.fill()
+	cfg.stats.setEngine(engine.Default)
 	return convert(pairs), nil
 }
 

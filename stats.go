@@ -7,6 +7,11 @@ import (
 // Stats reports instrumentation counters from a join run. Attach with
 // WithStats; the struct is overwritten when the join returns.
 type Stats struct {
+	// Engine is the join algorithm that actually ran: the WithEngine
+	// name, or the engine "auto" resolved to. "passjoin" for the default
+	// path. Empty for runs that never reach a join (searcher
+	// construction, lookups).
+	Engine string
 	// Strings is the number of input strings scanned.
 	Strings int64
 	// ShortStrings counts strings of length <= tau, which bypass the
@@ -53,6 +58,13 @@ type Stats struct {
 	WALRecords  int64
 
 	inner *metrics.Stats
+}
+
+// setEngine records which join algorithm ran; nil-safe like fill.
+func (s *Stats) setEngine(name string) {
+	if s != nil {
+		s.Engine = name
+	}
 }
 
 // reset prepares the internal sink for a fresh run.

@@ -5,9 +5,55 @@ import (
 	"errors"
 
 	"passjoin/internal/core"
+	"passjoin/internal/engine"
 )
 
 var errNilYield = errors.New("passjoin: nil yield callback")
+
+// drainEngine runs a materializing join engine and re-delivers its pair
+// set through yield on the calling goroutine, preserving the streaming
+// contract for engines that have no streaming mode: pairs arrive in the
+// engine's deterministic (R, S)-sorted order, yield returning false
+// stops the drain, and — when ctx is cancellable — cancellation returns
+// promptly even while the algorithm is still running (the engine runs on
+// a helper goroutine; an abandoned run finishes in the background and
+// its result is discarded). The drain itself re-checks ctx periodically
+// so a disconnect during a huge re-delivery is also prompt.
+func drainEngine(ctx context.Context, cfg config, run func() ([]core.Pair, error), yield func(r, s int) bool) error {
+	type result struct {
+		pairs []core.Pair
+		err   error
+	}
+	var res result
+	if ctx.Done() == nil {
+		res.pairs, res.err = run()
+	} else {
+		ch := make(chan result, 1)
+		go func() {
+			var r result
+			r.pairs, r.err = run()
+			ch <- r
+		}()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case res = <-ch:
+		}
+	}
+	if res.err != nil {
+		return res.err
+	}
+	cfg.stats.fill()
+	for i, p := range res.pairs {
+		if i%1024 == 1023 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if !yield(int(p.R), int(p.S)) {
+			return nil
+		}
+	}
+	return nil
+}
 
 // SelfJoinEach streams self-join results to yield as they are found,
 // without materializing the result set — useful when the output is large
@@ -30,6 +76,15 @@ func SelfJoinEach(strs []string, tau int, yield func(r, s int) bool, opts ...Opt
 	if yield == nil {
 		return errNilYield
 	}
+	if e, ok, err := cfg.resolveEngine(strs, tau); err != nil {
+		return err
+	} else if ok {
+		err = drainEngine(context.Background(), cfg, func() ([]core.Pair, error) {
+			return e.SelfJoin(strs, tau, cfg.statsSink())
+		}, yield)
+		cfg.stats.setEngine(e.Name())
+		return err
+	}
 	o := cfg.coreOptions(tau)
 	emit := func(p core.Pair) bool { return yield(int(p.R), int(p.S)) }
 	if o.Parallel > 1 {
@@ -38,6 +93,7 @@ func SelfJoinEach(strs []string, tau int, yield func(r, s int) bool, opts ...Opt
 		err = core.SelfJoinFunc(strs, o, emit)
 	}
 	cfg.stats.fill()
+	cfg.stats.setEngine(engine.Default)
 	return err
 }
 
@@ -54,6 +110,15 @@ func JoinEach(rset, sset []string, tau int, yield func(r, s int) bool, opts ...O
 	if yield == nil {
 		return errNilYield
 	}
+	if e, ok, err := cfg.resolveEngineRS(rset, sset, tau); err != nil {
+		return err
+	} else if ok {
+		err = drainEngine(context.Background(), cfg, func() ([]core.Pair, error) {
+			return engine.RSJoin(e, rset, sset, tau, cfg.statsSink())
+		}, yield)
+		cfg.stats.setEngine(e.Name())
+		return err
+	}
 	o := cfg.coreOptions(tau)
 	emit := func(p core.Pair) bool { return yield(int(p.R), int(p.S)) }
 	if o.Parallel > 1 {
@@ -62,6 +127,7 @@ func JoinEach(rset, sset []string, tau int, yield func(r, s int) bool, opts ...O
 		err = core.JoinFunc(rset, sset, o, emit)
 	}
 	cfg.stats.fill()
+	cfg.stats.setEngine(engine.Default)
 	return err
 }
 
@@ -85,10 +151,20 @@ func SelfJoinEachCtx(ctx context.Context, strs []string, tau int, yield func(r, 
 	if yield == nil {
 		return errNilYield
 	}
+	if e, ok, err := cfg.resolveEngine(strs, tau); err != nil {
+		return err
+	} else if ok {
+		err = drainEngine(ctx, cfg, func() ([]core.Pair, error) {
+			return e.SelfJoin(strs, tau, cfg.statsSink())
+		}, yield)
+		cfg.stats.setEngine(e.Name())
+		return err
+	}
 	err = core.SelfJoinStream(ctx, strs, cfg.coreOptions(tau), func(p core.Pair) bool {
 		return yield(int(p.R), int(p.S))
 	})
 	cfg.stats.fill()
+	cfg.stats.setEngine(engine.Default)
 	return err
 }
 
@@ -103,9 +179,19 @@ func JoinEachCtx(ctx context.Context, rset, sset []string, tau int, yield func(r
 	if yield == nil {
 		return errNilYield
 	}
+	if e, ok, err := cfg.resolveEngineRS(rset, sset, tau); err != nil {
+		return err
+	} else if ok {
+		err = drainEngine(ctx, cfg, func() ([]core.Pair, error) {
+			return engine.RSJoin(e, rset, sset, tau, cfg.statsSink())
+		}, yield)
+		cfg.stats.setEngine(e.Name())
+		return err
+	}
 	err = core.JoinStream(ctx, rset, sset, cfg.coreOptions(tau), func(p core.Pair) bool {
 		return yield(int(p.R), int(p.S))
 	})
 	cfg.stats.fill()
+	cfg.stats.setEngine(engine.Default)
 	return err
 }
