@@ -1,0 +1,179 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"passjoin/internal/dataset"
+	"passjoin/internal/index"
+	"passjoin/internal/partition"
+	"passjoin/internal/verify"
+)
+
+// hotpath is the table-layout lab's measurement harness: it races every
+// segment-table layout on the frozen index's List hot path across corpora
+// of different sizes and key skews, then races the verification kernels on
+// a batch-shaped workload (one query, many candidates). The layout table
+// decides index.DefaultLayout; the kernel table is the before/after for
+// the batched prober's Peq amortization (BENCH_hotpath.json).
+func (c *runConfig) hotpath() error {
+	mult := 1
+	switch c.scale {
+	case "medium":
+		mult = 4
+	case "full":
+		mult = 20
+	}
+
+	header("Segment-table layout race (scale=" + c.scale + ")")
+	regimes := []struct {
+		name string
+		strs []string
+		tau  int
+	}{
+		// Three skews: short uniform keys, skewed query-log tokens, and
+		// DNA's 4-letter alphabet (heavy segment sharing → long lists).
+		{"author", dataset.Author(5000*mult, c.seed), 2},
+		{"author-large", dataset.Author(20000*mult, c.seed), 2},
+		{"querylog", dataset.QueryLog(4000*mult, c.seed), 3},
+		{"dna", dataset.DNA(5000*mult, c.seed), 2},
+	}
+	w := newTable()
+	fmt.Fprintln(w, "corpus\tn\ttau\tlayout\tMB\tprobe ns/op")
+	for _, reg := range regimes {
+		x := index.New(reg.tau)
+		for id, s := range reg.strs {
+			if len(s) >= reg.tau+1 {
+				x.Add(int32(id), s)
+			}
+		}
+		probes := layoutProbes(reg.strs, reg.tau, c.seed)
+		if len(probes) == 0 {
+			continue
+		}
+		for _, layout := range index.Layouts {
+			fz := x.FreezeLayout(reg.strs, layout)
+			// Warm, then measure whole passes over the probe set.
+			lookupPass(fz, probes)
+			const passes = 20
+			elapsed := timeIt(func() {
+				for p := 0; p < passes; p++ {
+					lookupPass(fz, probes)
+				}
+			})
+			perOp := float64(elapsed.Nanoseconds()) / float64(passes*len(probes))
+			fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%s\t%.1f\n",
+				reg.name, len(reg.strs), reg.tau, layout, mb(fz.Bytes()), perOp)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	header("Verification kernels, batch-shaped workload (ns/pair)")
+	w = newTable()
+	fmt.Fprintln(w, "regime\tlen\tkernel\tns/pair")
+	rng := rand.New(rand.NewSource(c.seed))
+	for _, l := range []int{16, 40, 64, 200} {
+		q, cands := kernelPairs(rng, 256, l)
+		tau := 3
+		var v verify.Verifier
+		kernels := []struct {
+			name string
+			run  func() int
+		}{
+			{"myers/rebuild-per-pair", func() int {
+				s := 0
+				for _, cand := range cands {
+					s += v.DistMyers(q, cand, tau)
+				}
+				return s
+			}},
+			{"myers/pattern-reuse", func() int {
+				var pat verify.Pattern
+				pat.Set(q)
+				s := 0
+				for _, cand := range cands {
+					s += v.DistPattern(&pat, cand, tau)
+				}
+				return s
+			}},
+			{"banded-dp", func() int {
+				s := 0
+				for _, cand := range cands {
+					s += v.Dist(q, cand, tau)
+				}
+				return s
+			}},
+		}
+		for _, k := range kernels {
+			k.run() // warm the pooled scratch
+			const passes = 200
+			var sink int
+			elapsed := timeIt(func() {
+				for p := 0; p < passes; p++ {
+					sink += k.run()
+				}
+			})
+			_ = sink
+			perPair := float64(elapsed.Nanoseconds()) / float64(passes*len(cands))
+			fmt.Fprintf(w, "l=%d\t%d\t%s\t%.1f\n", l, l, k.name, perPair)
+		}
+	}
+	return w.Flush()
+}
+
+// layoutProbes builds a List workload from a corpus: the real segments of a
+// sample of strings (hits) interleaved with mutated segments (misses).
+type segProbe struct {
+	l, i int
+	w    string
+}
+
+func layoutProbes(strs []string, tau int, seed int64) []segProbe {
+	rng := rand.New(rand.NewSource(seed))
+	var probes []segProbe
+	for k := 0; k < 2000 && k < len(strs); k++ {
+		s := strs[rng.Intn(len(strs))]
+		if len(s) < tau+1 {
+			continue
+		}
+		for i := 1; i <= tau+1; i++ {
+			w := partition.Segment(s, tau, i)
+			probes = append(probes, segProbe{len(s), i, w})
+			if k%4 == 0 {
+				b := []byte(w)
+				b[rng.Intn(len(b))] ^= 0x15
+				probes = append(probes, segProbe{len(s), i, string(b)})
+			}
+		}
+	}
+	return probes
+}
+
+func lookupPass(fz *index.Frozen, probes []segProbe) int {
+	n := 0
+	for _, p := range probes {
+		n += len(fz.Group(p.l).List(p.i, p.w))
+	}
+	return n
+}
+
+// kernelPairs builds one query and a batch of near-miss candidates of
+// roughly length l.
+func kernelPairs(rng *rand.Rand, n, l int) (string, []string) {
+	b := make([]byte, l)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(6))
+	}
+	q := string(b)
+	cands := make([]string, n)
+	for i := range cands {
+		cb := []byte(q)
+		for e := 0; e <= rng.Intn(4); e++ {
+			cb[rng.Intn(len(cb))] = byte('a' + rng.Intn(6))
+		}
+		cands[i] = string(cb)
+	}
+	return q, cands
+}

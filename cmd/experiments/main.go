@@ -12,7 +12,10 @@
 //	ablation  extension experiments beyond the paper
 //	calibrate regenerate the multi-engine planner cost model
 //	          (internal/engine/model.go coefficients)
-//	all       every table and figure above, in order (calibrate excluded)
+//	hotpath   the table-layout lab: race segment-table layouts and
+//	          verification kernels (decides index.DefaultLayout)
+//	all       every table and figure above, in order (calibrate and
+//	          hotpath excluded)
 //
 // Corpus sizes scale with -scale small|medium|full; absolute numbers are
 // machine-dependent, the paper's SHAPES (orderings, ratios, crossovers) are
@@ -70,6 +73,8 @@ func run(cfg *runConfig, cmd string) error {
 		return cfg.ablation()
 	case "calibrate":
 		return cfg.calibrate()
+	case "hotpath":
+		return cfg.hotpath()
 	case "all":
 		for _, c := range []string{"table2", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table3", "ablation"} {
 			if err := run(cfg, c); err != nil {
@@ -84,7 +89,7 @@ func run(cfg *runConfig, cmd string) error {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: experiments [-scale small|medium|full] [-seed N] <experiment>...
 
-experiments: table2 fig11 fig12 fig13 fig14 fig15 fig16 table3 ablation calibrate all
+experiments: table2 fig11 fig12 fig13 fig14 fig15 fig16 table3 ablation calibrate hotpath all
 %s`, strings.TrimLeft(`
 Each experiment prints the rows/series of the corresponding table or
 figure of the Pass-Join paper (PVLDB 5(3), 2011).

@@ -7,6 +7,7 @@
 //	passjoind -tau 2 -wal ./data corpus.txt         durable live-update mode
 //	passjoind -tau 2 -wal ./data                    restart: snapshot + WAL tail
 //	passjoind -tau 2 -dynamic                       volatile live-update mode
+//	passjoind -tau 2 -pprof localhost:6060 ...      net/http/pprof side listener
 //
 // The corpus file contains one string per line. One index serves every
 // threshold up to its build -tau: the search and batch routes accept a
@@ -67,6 +68,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "max queries per batch request (0 = default)")
 	topK := flag.Int("topk", 0, "default k for /v1/topk (0 = default)")
 	joinMaxBytes := flag.Int64("join-max-bytes", 0, "max body size for the bulk-join endpoints (0 = default 32 MiB)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; off by default)")
 	flag.Parse()
 
 	mutable := *wal != "" || *dynamic
@@ -117,6 +119,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "passjoind: snapshot written to %s\n", *save)
+	}
+
+	if *pprofAddr != "" {
+		ln, err := startPprof(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "passjoind: pprof on http://%s/debug/pprof/\n", ln.Addr())
 	}
 
 	srv := &http.Server{

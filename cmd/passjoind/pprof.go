@@ -1,0 +1,26 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// startPprof serves net/http/pprof on its own listener and mux, so the
+// profiling surface never shares a port (or a handler namespace) with the
+// public API: -pprof is off by default and meant for a loopback address.
+// The returned listener reports the bound address (useful with :0 ports).
+func startPprof(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln, nil
+}

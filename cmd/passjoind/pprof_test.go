@@ -1,0 +1,54 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestStartPprof smoke-tests the -pprof side listener: it must come up on
+// its own port, serve the pprof index and a profile endpoint, and stay off
+// the main API's handler namespace (it has no /v1 routes).
+func TestStartPprof(t *testing.T) {
+	ln, err := startPprof("localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d, body %.80q", code, body)
+	}
+	code, _ = get("/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK {
+		t.Fatalf("goroutine profile: status %d", code)
+	}
+	if code, _ = get("/v1/search?q=x"); code != http.StatusNotFound {
+		t.Fatalf("API route on pprof listener: status %d, want 404", code)
+	}
+}
+
+// TestStartPprofBadAddr pins the error path: an unusable address must fail
+// at startup, not at first scrape.
+func TestStartPprofBadAddr(t *testing.T) {
+	if _, err := startPprof("256.256.256.256:1"); err == nil {
+		t.Fatal("bogus address accepted")
+	}
+}

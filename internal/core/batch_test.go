@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"passjoin/internal/selection"
+)
+
+// batchCorpus builds a small but collision-rich corpus: clusters of lightly
+// mutated strings around random bases, plus a few very long (>64-char)
+// strings so the word-size boundary of the bit-parallel kernel is crossed
+// in both directions.
+func batchCorpus(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	randStr := func(l int) string {
+		b := make([]byte, l)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(5))
+		}
+		return string(b)
+	}
+	var out []string
+	for len(out) < n {
+		l := 4 + rng.Intn(12)
+		if rng.Intn(10) == 0 {
+			l = 60 + rng.Intn(20) // straddle the 64-char kernel limit
+		}
+		base := randStr(l)
+		out = append(out, base)
+		for k := 0; k < 3 && len(out) < n; k++ {
+			b := []byte(base)
+			for e := 0; e <= rng.Intn(3); e++ {
+				b[rng.Intn(len(b))] = byte('a' + rng.Intn(5))
+			}
+			out = append(out, string(b))
+		}
+	}
+	return out
+}
+
+// TestBatchVsScalarVerification is the differential gate for the batched
+// prober: for every verification kind and every query budget qtau <= build
+// tau, the batched path must produce results identical to the scalar
+// (pre-batch) path — same ids, same distances, same order — on both the
+// mutable map index and the frozen CSR index.
+func TestBatchVsScalarVerification(t *testing.T) {
+	strs := batchCorpus(41, 160)
+	queries := append([]string{}, strs[:40]...)
+	rng := rand.New(rand.NewSource(9))
+	for i := range queries {
+		b := []byte(queries[i])
+		b[rng.Intn(len(b))] = byte('a' + rng.Intn(6))
+		queries[i] = string(b)
+	}
+	const tau = 3
+	for _, vk := range VerifyKinds {
+		for _, seal := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%v/seal=%v", vk, seal), func(t *testing.T) {
+				mk := func(scalar bool) *Matcher {
+					forceScalarVerify = scalar
+					defer func() { forceScalarVerify = false }()
+					m, err := NewMatcher(tau, selection.MultiMatch, vk, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, s := range strs {
+						m.InsertSilent(s)
+					}
+					if seal {
+						m.Seal()
+					}
+					return m
+				}
+				batched, scalar := mk(false), mk(true)
+				for _, q := range queries {
+					for qtau := 0; qtau <= tau; qtau++ {
+						got := batched.QueryOpt(q, QueryOpts{Tau: qtau})
+						want := scalar.QueryOpt(q, QueryOpts{Tau: qtau})
+						if len(got) != len(want) {
+							t.Fatalf("q=%q qtau=%d: batch %d hits, scalar %d", q, qtau, len(got), len(want))
+						}
+						for i := range got {
+							if got[i] != want[i] {
+								t.Fatalf("q=%q qtau=%d hit %d: batch %+v, scalar %+v", q, qtau, i, got[i], want[i])
+							}
+						}
+						// The limited form must deliver the same prefix.
+						lim := batched.QueryOpt(q, QueryOpts{Tau: qtau, Limit: 2})
+						wantLim := scalar.QueryOpt(q, QueryOpts{Tau: qtau, Limit: 2})
+						if len(lim) != len(wantLim) {
+							t.Fatalf("q=%q qtau=%d limit: batch %d hits, scalar %d", q, qtau, len(lim), len(wantLim))
+						}
+						for i := range lim {
+							if lim[i] != wantLim[i] {
+								t.Fatalf("q=%q qtau=%d limit hit %d: batch %+v, scalar %+v", q, qtau, i, lim[i], wantLim[i])
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchVsScalarJoins runs the join entry points — sequential self join,
+// parallel self join, R×S join, and the streaming forms — under every
+// verification kind, comparing batched against scalar pair sets.
+func TestBatchVsScalarJoins(t *testing.T) {
+	strs := batchCorpus(77, 120)
+	rset := batchCorpus(78, 60)
+	for _, vk := range VerifyKinds {
+		for _, tau := range []int{1, 2} {
+			t.Run(fmt.Sprintf("%v/tau=%d", vk, tau), func(t *testing.T) {
+				run := func(scalar bool) (selfSeq, selfPar, rs, selfStream []Pair) {
+					forceScalarVerify = scalar
+					defer func() { forceScalarVerify = false }()
+					var err error
+					selfSeq, err = SelfJoin(strs, Options{Tau: tau, Verification: vk})
+					if err != nil {
+						t.Fatal(err)
+					}
+					selfPar, err = SelfJoin(strs, Options{Tau: tau, Verification: vk, Parallel: 4})
+					if err != nil {
+						t.Fatal(err)
+					}
+					rs, err = Join(rset, strs, Options{Tau: tau, Verification: vk})
+					if err != nil {
+						t.Fatal(err)
+					}
+					err = SelfJoinStream(context.Background(), strs, Options{Tau: tau, Verification: vk, Parallel: 3},
+						func(p Pair) bool { selfStream = append(selfStream, p); return true })
+					if err != nil {
+						t.Fatal(err)
+					}
+					SortPairs(selfStream)
+					return
+				}
+				gSeq, gPar, gRS, gStream := run(false)
+				wSeq, wPar, wRS, wStream := run(true)
+				cmp := func(name string, got, want []Pair) {
+					t.Helper()
+					if len(got) != len(want) {
+						t.Fatalf("%s: batch %d pairs, scalar %d", name, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%s pair %d: batch %v, scalar %v", name, i, got[i], want[i])
+						}
+					}
+				}
+				cmp("selfjoin", gSeq, wSeq)
+				cmp("selfjoin-parallel", gPar, wPar)
+				cmp("rsjoin", gRS, wRS)
+				cmp("selfjoin-stream", gStream, wStream)
+			})
+		}
+	}
+}

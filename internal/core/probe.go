@@ -35,6 +35,25 @@ type prober struct {
 	ver        verify.Verifier
 	incL, incR verify.Incremental
 
+	// pat is the query-side bit-parallel profile, built once per probe and
+	// reused across the whole candidate set (the per-pair Peq rebuild it
+	// replaces was the largest verification constant for word-sized
+	// strings). Valid whenever patSet.
+	pat    verify.Pattern
+	patSet bool
+
+	// batch collects the whole-string verifiers' candidate ids for the
+	// current probe; they are verified in one pass after the probe loops
+	// finish. The probe walks length groups in ascending order, so the
+	// batch arrives sorted by candidate length — runs of equal length keep
+	// the banded kernels' geometry (and the branchy prefix/suffix paths)
+	// predictable without an explicit sort. Emission order is collection
+	// order, which is exactly the scalar path's emission order, so results
+	// are byte-identical. Reused across probes; scalar (set by the
+	// differential tests) forces the legacy per-list verification.
+	batch  []int32
+	scalar bool
+
 	// checked stamps definitive verifications (full-string verifiers);
 	// accepted stamps emitted results (extension verifiers must retry
 	// rejected pairs at other alignments). Both indexed by candidate id,
@@ -66,6 +85,12 @@ type prober struct {
 	stopped bool
 }
 
+// forceScalarVerify, when set (tests only, before any join/matcher work
+// starts), makes every new prober take the scalar whole-string verification
+// path instead of the batch — the oracle side of the batch-vs-scalar
+// differential tests.
+var forceScalarVerify = false
+
 func newProber(tau int, sel selection.Method, vk VerifyKind, st *metrics.Stats, idx *index.Index, fz *index.Frozen, ref []string) *prober {
 	p := &prober{
 		tau:   tau,
@@ -77,6 +102,8 @@ func newProber(tau int, sel selection.Method, vk VerifyKind, st *metrics.Stats, 
 		fz:    fz,
 		ref:   ref,
 		maxID: -1,
+
+		scalar: forceScalarVerify,
 	}
 	p.ver.Stats = st
 	p.incL.Stats = st
@@ -100,6 +127,14 @@ func (p *prober) probe(s string, lmin, lmax int) {
 	p.hits = p.hits[:0]
 	p.dists = p.dists[:0]
 	p.stopped = false
+	p.batch = p.batch[:0]
+	// The pattern is needed by the Myers whole-string mode and by the
+	// extension modes' exact-distance recovery; building it here makes it
+	// a once-per-probe cost no matter how many candidates follow.
+	p.patSet = p.vk == VerifyMyers || p.needDist
+	if p.patSet {
+		p.pat.Set(s)
+	}
 	tau := p.tau
 	if lmin < tau+1 {
 		lmin = tau + 1
@@ -151,23 +186,86 @@ func (p *prober) probe(s string, lmin, lmax int) {
 			}
 		}
 	}
+	p.flushBatch(s)
 }
 
-// handleList verifies every candidate on one inverted list. s matched the
-// i-th segment (start pi, length li, of indexed strings) with its substring
-// at 1-based position pos.
+// handleList routes one inverted list: whole-string verifiers collect the
+// candidates into the probe's batch (verified together in flushBatch);
+// extension verifiers depend on the matched alignment (i, pos) and verify
+// in place. s matched the i-th segment (start pi, length li, of indexed
+// strings) with its substring at 1-based position pos.
 func (p *prober) handleList(s string, lst []int32, i, pos, pi, li int) {
 	switch p.vk {
 	case VerifyNaive, VerifyLengthAware, VerifyMyers:
-		p.verifyWhole(s, lst)
+		if p.scalar {
+			p.verifyWhole(s, lst)
+		} else {
+			p.collectWhole(lst)
+		}
 	default:
 		p.verifyExtension(s, lst, i, pos, pi, li)
 	}
 }
 
-// verifyWhole verifies candidates with a whole-string banded DP against the
-// query threshold. The verdict does not depend on the matched alignment, so
-// each pair is checked at most once per probe (checked stamp).
+// collectWhole stamps and batches the not-yet-seen candidates of one
+// inverted list. The whole-string verdict does not depend on the matched
+// alignment, so each pair enters the batch at most once per probe (checked
+// stamp).
+func (p *prober) collectWhole(lst []int32) {
+	for _, rid := range lst {
+		if p.maxID >= 0 && rid >= p.maxID {
+			continue
+		}
+		if p.st != nil {
+			p.st.Candidates++
+		}
+		if p.checked[rid] == p.epoch {
+			continue
+		}
+		p.checked[rid] = p.epoch
+		if p.st != nil {
+			p.st.UniqueCandidates++
+		}
+		p.batch = append(p.batch, rid)
+	}
+}
+
+// flushBatch verifies the collected candidate set in one pass and emits
+// the accepted ids in collection order — the same order the scalar path
+// emits, so batch and scalar probes produce identical results. The batch
+// amortizes the query-side scratch: one Pattern table (VerifyMyers), one
+// set of pooled banded rows, all built before the first candidate.
+func (p *prober) flushBatch(s string) {
+	if len(p.batch) == 0 {
+		return
+	}
+	tau := p.qtau
+	for _, rid := range p.batch {
+		if p.st != nil {
+			p.st.Verifications++
+		}
+		var d int
+		switch p.vk {
+		case VerifyNaive:
+			d = p.ver.DistNaive(p.ref[rid], s, tau)
+		case VerifyMyers:
+			d = p.ver.DistPattern(&p.pat, p.ref[rid], tau)
+		default:
+			d = p.ver.Dist(p.ref[rid], s, tau)
+		}
+		if d <= tau {
+			if !p.accept(rid, int32(d)) {
+				return
+			}
+		}
+	}
+}
+
+// verifyWhole is the scalar (pre-batch) whole-string path: verify each
+// candidate of one list in place with a whole-string banded DP against the
+// query threshold. It is kept as the differential oracle for the batch
+// path (see TestBatchVsScalarVerification) and is only reachable with the
+// scalar flag set.
 func (p *prober) verifyWhole(s string, lst []int32) {
 	tau := p.qtau
 	for _, rid := range lst {
@@ -264,8 +362,9 @@ func (p *prober) verifyExtension(s string, lst []int32, i, pos, pi, li int) {
 			// recover the exact value — the bit-parallel kernel is the
 			// cheapest exact computer for word-sized strings, and the
 			// accepted pair is guaranteed within the query threshold so the
-			// thresholded result is exact.
-			d = int32(p.ver.DistMyers(r, s, p.qtau))
+			// thresholded result is exact. The query-side Pattern was built
+			// once at probe start and serves every accepted candidate.
+			d = int32(p.ver.DistPattern(&p.pat, r, p.qtau))
 		}
 		if !p.accept(rid, d) {
 			return

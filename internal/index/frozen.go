@@ -21,6 +21,7 @@ import (
 // FrozenBuilder (the PJIX v2 snapshot loader).
 type Frozen struct {
 	tau     int
+	layout  Layout
 	groups  []*FrozenGroup // dense, indexed by string length; nil holes
 	arena   []int32
 	ref     []string
@@ -29,28 +30,14 @@ type Frozen struct {
 }
 
 // FrozenGroup holds the tau+1 frozen slot tables for one string length.
+// The tables' memory organisation is a Layout picked at build time (see
+// segtable.go); a nil table means the slot received no lists.
 type FrozenGroup struct {
 	L      int
 	segs   []partition.Seg
-	tables []frozenTable
+	tables []segTable
 	arena  []int32
 	ref    []string
-}
-
-// frozenTable is one open-addressing hash table (linear probing, power-of-
-// two size, load factor <= 0.5). Rows are stored array-of-structs so one
-// probe step touches one cache line, not three parallel arrays. A row with
-// count 0 is empty — every stored posting list has at least one element.
-type frozenTable struct {
-	mask uint32
-	rows []frozenRow
-}
-
-// frozenRow is one table cell: the segment hash and its CSR arena range.
-type frozenRow struct {
-	hash  uint64
-	start uint32
-	count uint32
 }
 
 // hash64 hashes a segment with FNV-1a and a splitmix-style finalizer so
@@ -70,6 +57,9 @@ func hash64(s string) uint64 {
 
 // Tau returns the threshold the index was built for.
 func (f *Frozen) Tau() int { return f.tau }
+
+// Layout returns the segment-table layout the index was built with.
+func (f *Frozen) Layout() Layout { return f.layout }
 
 // Entries returns the number of postings in the arena.
 func (f *Frozen) Entries() int64 { return f.entries }
@@ -113,42 +103,38 @@ func (g *FrozenGroup) List(i int, w string) []int32 {
 	if g == nil {
 		return nil
 	}
-	t := &g.tables[i-1]
-	if len(t.rows) == 0 {
+	t := g.tables[i-1]
+	if t == nil {
 		return nil
 	}
 	sg := g.segs[i-1]
 	h := hash64(w)
-	slot := uint32(h) & t.mask
-	for {
-		row := &t.rows[slot]
-		if row.count == 0 {
+	for nth := 0; ; nth++ {
+		start, count, ok := t.lookup(h, nth)
+		if !ok {
 			return nil
 		}
-		if row.hash == h {
-			lst := g.arena[row.start : row.start+row.count]
-			// Confirm against the corpus: the i-th segment of any posted
-			// string must equal w (all strings on one list share it).
-			r := g.ref[lst[0]]
-			if r[sg.Pos-1:sg.Pos-1+sg.Len] == w {
-				return lst
-			}
+		lst := g.arena[start : start+count]
+		// Confirm against the corpus: the i-th segment of any posted
+		// string must equal w (all strings on one list share it). A
+		// mismatch is a full 64-bit hash collision — ask for the next row.
+		r := g.ref[lst[0]]
+		if r[sg.Pos-1:sg.Pos-1+sg.Len] == w {
+			return lst
 		}
-		slot = (slot + 1) & t.mask
 	}
 }
 
 // Slot calls fn for every (hash, postings) list of the i-th segment slot
 // (1-based), in table order. Used by the PJIX v2 writer.
 func (g *FrozenGroup) Slot(i int, fn func(hash uint64, postings []int32)) {
-	t := &g.tables[i-1]
-	for slot := range t.rows {
-		row := &t.rows[slot]
-		if row.count == 0 {
-			continue
-		}
-		fn(row.hash, g.arena[row.start:row.start+row.count])
+	t := g.tables[i-1]
+	if t == nil {
+		return
 	}
+	t.each(func(h uint64, start, count uint32) {
+		fn(h, g.arena[start:start+count])
+	})
 }
 
 // Freeze packs the index into its immutable read-optimized form. ref is
@@ -156,8 +142,18 @@ func (g *FrozenGroup) Slot(i int, fn func(hash uint64, postings []int32)) {
 // Add with that id); Frozen keeps it for lookup confirmation. The mutable
 // index is left untouched.
 func (x *Index) Freeze(ref []string) *Frozen {
+	return x.FreezeLayout(ref, DefaultLayout)
+}
+
+// FreezeLayout is Freeze with an explicit segment-table layout — the
+// entry point of the table-layout lab (benchmarks and the `experiments
+// hotpath` calibration build every layout from one index and race them).
+func (x *Index) FreezeLayout(ref []string, layout Layout) *Frozen {
 	b, err := NewFrozenBuilder(x.tau, ref, x.entries)
 	if err != nil {
+		panic("index: " + err.Error())
+	}
+	if err := b.SetLayout(layout); err != nil {
 		panic("index: " + err.Error())
 	}
 	lengths := x.Lengths()
@@ -193,6 +189,7 @@ func (x *Index) Freeze(ref []string) *Frozen {
 // building an index that panics at query time.
 type FrozenBuilder struct {
 	tau       int
+	layout    Layout
 	ref       []string
 	maxRefLen int
 	f         *Frozen
@@ -200,6 +197,21 @@ type FrozenBuilder struct {
 	cur       *FrozenGroup
 	curSlot   int // 0 = none begun
 	off       uint32
+}
+
+// SetLayout overrides the segment-table layout (default DefaultLayout).
+// It must be called before the first BeginGroup — tables are sized and
+// shaped per slot as groups arrive.
+func (b *FrozenBuilder) SetLayout(l Layout) error {
+	if l >= numLayouts {
+		return fmt.Errorf("unknown table layout %d", l)
+	}
+	if len(b.groups) > 0 {
+		return fmt.Errorf("SetLayout after BeginGroup")
+	}
+	b.layout = l
+	b.f.layout = l
+	return nil
 }
 
 // NewFrozenBuilder starts a build for threshold tau over corpus ref with
@@ -219,9 +231,10 @@ func NewFrozenBuilder(tau int, ref []string, totalPostings int64) (*FrozenBuilde
 	}
 	return &FrozenBuilder{
 		tau:       tau,
+		layout:    DefaultLayout,
 		ref:       ref,
 		maxRefLen: maxRefLen,
-		f:         &Frozen{tau: tau, ref: ref, arena: make([]int32, totalPostings)},
+		f:         &Frozen{tau: tau, layout: DefaultLayout, ref: ref, arena: make([]int32, totalPostings)},
 		groups:    make(map[int]*FrozenGroup),
 	}, nil
 }
@@ -238,7 +251,7 @@ func (b *FrozenBuilder) BeginGroup(L int) error {
 	g := &FrozenGroup{
 		L:      L,
 		segs:   partition.Segments(L, b.tau),
-		tables: make([]frozenTable, b.tau+1),
+		tables: make([]segTable, b.tau+1),
 		arena:  b.f.arena,
 		ref:    b.ref,
 	}
@@ -262,18 +275,10 @@ func (b *FrozenBuilder) BeginSlot(i, nKeys int) error {
 	if nKeys < 0 || int64(nKeys) > int64(len(b.f.arena))-int64(b.off) {
 		return fmt.Errorf("slot %d key count %d exceeds remaining postings %d", i, nKeys, int64(len(b.f.arena))-int64(b.off))
 	}
-	t := &b.cur.tables[i-1]
-	if len(t.rows) != 0 {
+	if b.cur.tables[i-1] != nil {
 		return fmt.Errorf("slot %d of length %d begun twice", i, b.cur.L)
 	}
-	if nKeys > 0 {
-		size := uint32(2)
-		for size < 2*uint32(nKeys) {
-			size *= 2
-		}
-		t.mask = size - 1
-		t.rows = make([]frozenRow, size)
-	}
+	b.cur.tables[i-1] = newSegTable(b.layout, nKeys)
 	b.curSlot = i
 	return nil
 }
@@ -302,21 +307,11 @@ func (b *FrozenBuilder) AddList(hash uint64, postings []int32) error {
 	copy(b.f.arena[start:], postings)
 	b.off += uint32(len(postings))
 
-	t := &b.cur.tables[b.curSlot-1]
-	if len(t.rows) == 0 {
+	t := b.cur.tables[b.curSlot-1]
+	if t == nil || !t.insert(hash, start, uint32(len(postings))) {
 		return fmt.Errorf("slot %d of length %d received more lists than declared", b.curSlot, b.cur.L)
 	}
-	slot := uint32(hash) & t.mask
-	for probes := uint32(0); ; probes++ {
-		if probes > t.mask {
-			return fmt.Errorf("slot %d of length %d received more lists than declared", b.curSlot, b.cur.L)
-		}
-		if t.rows[slot].count == 0 {
-			t.rows[slot] = frozenRow{hash: hash, start: start, count: uint32(len(postings))}
-			return nil
-		}
-		slot = (slot + 1) & t.mask
-	}
+	return nil
 }
 
 // Finish validates that the declared postings all arrived and returns the
@@ -341,16 +336,16 @@ func (b *FrozenBuilder) Finish() (*Frozen, error) {
 	for _, g := range b.groups {
 		f.bytes += frozenGroupOverhead
 		for i := range g.tables {
-			f.bytes += int64(len(g.tables[i].rows)) * frozenRowBytes
+			if g.tables[i] != nil {
+				f.bytes += g.tables[i].bytes()
+			}
 		}
 	}
 	b.f = nil
 	return f, nil
 }
 
-// Exact per-row and per-group sizes of the frozen layout (unlike the
-// mutable index's cost model, these are not approximations).
-const (
-	frozenRowBytes      = 16 // hash (8) + start (4) + count (4)
-	frozenGroupOverhead = 64 // FrozenGroup struct + segs + table headers
-)
+// frozenGroupOverhead is the approximate fixed cost of one group:
+// FrozenGroup struct + segs + table headers. Table backing arrays are
+// accounted exactly, per layout (unlike the mutable index's cost model).
+const frozenGroupOverhead = 64

@@ -1,0 +1,89 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchPairs builds a verification workload shaped like a probe batch: one
+// query against many near-length candidates, most within a couple of edits.
+func benchPairs(seed int64, n, l int) (string, []string) {
+	rng := rand.New(rand.NewSource(seed))
+	randStr := func(l int) string {
+		b := make([]byte, l)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(6))
+		}
+		return string(b)
+	}
+	q := randStr(l)
+	cands := make([]string, n)
+	for i := range cands {
+		b := []byte(q)
+		for e := 0; e <= rng.Intn(4); e++ {
+			b[rng.Intn(len(b))] = byte('a' + rng.Intn(6))
+		}
+		cands[i] = string(b)
+	}
+	return q, cands
+}
+
+// BenchmarkVerifyPair races the per-pair verification kernels on a batch
+// workload. scalar-myers rebuilds the bit-parallel occurrence table for
+// every pair (the pre-batch hot path); pattern-myers builds it once per
+// query and reuses it across the batch — the tentpole's Peq amortization.
+func BenchmarkVerifyPair(b *testing.B) {
+	q, cands := benchPairs(7, 64, 40)
+	const tau = 3
+	var v Verifier
+
+	b.Run("scalar-myers", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += v.DistMyers(q, cands[i%len(cands)], tau)
+		}
+		_ = sink
+	})
+	b.Run("pattern-myers", func(b *testing.B) {
+		b.ReportAllocs()
+		var pat Pattern
+		pat.Set(q)
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += v.DistPattern(&pat, cands[i%len(cands)], tau)
+		}
+		_ = sink
+	})
+	b.Run("banded", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += v.Dist(q, cands[i%len(cands)], tau)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkEditDistance compares the allocating package function against
+// the pooled Verifier method (satellite 1: two-row scratch reuse).
+func BenchmarkEditDistance(b *testing.B) {
+	q, cands := benchPairs(11, 64, 48)
+	b.Run("package", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += EditDistance(q, cands[i%len(cands)])
+		}
+		_ = sink
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		var v Verifier
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += v.EditDistance(q, cands[i%len(cands)])
+		}
+		_ = sink
+	})
+}

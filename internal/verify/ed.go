@@ -49,6 +49,59 @@ func EditDistance(a, b string) int {
 	return prev[n]
 }
 
+// EditDistance is the pooled form of the package-level EditDistance: the
+// same full dynamic program over the Verifier's reusable row buffers, so
+// hot-loop callers that need unbounded distances pay no per-call
+// allocation. The rows are shared with the banded verifiers (each call
+// resizes by capacity only).
+func (v *Verifier) EditDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	m, n := len(a), len(b)
+	if m == 0 {
+		return n
+	}
+	if n == 0 {
+		return m
+	}
+	if cap(v.prev) < n+1 {
+		v.prev = make([]int, n+1)
+		v.cur = make([]int, n+1)
+	}
+	prev := v.prev[:n+1]
+	cur := v.cur[:n+1]
+	for j := 0; j <= n; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = i
+		ai := a[i-1]
+		for j := 1; j <= n; j++ {
+			d := prev[j-1]
+			if ai != b[j-1] {
+				d++
+			}
+			if x := prev[j] + 1; x < d {
+				d = x
+			}
+			if x := cur[j-1] + 1; x < d {
+				d = x
+			}
+			cur[j] = d
+		}
+		prev, cur = cur, prev
+	}
+	if v.Stats != nil {
+		v.Stats.DPCells += int64(m) * int64(n)
+	}
+	res := prev[n]
+	// Keep the pooled slices pointing at the larger backing arrays for the
+	// next call (the loop swapped them an odd or even number of times).
+	v.prev, v.cur = prev[:0], cur[:0]
+	return res
+}
+
 // Within reports whether ed(a,b) <= tau, using the length-aware banded
 // verifier. tau must be non-negative.
 func Within(a, b string, tau int) bool {
