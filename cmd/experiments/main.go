@@ -14,8 +14,11 @@
 //	          (internal/engine/model.go coefficients)
 //	hotpath   the table-layout lab: race segment-table layouts and
 //	          verification kernels (decides index.DefaultLayout)
-//	all       every table and figure above, in order (calibrate and
-//	          hotpath excluded)
+//	latency   replay a query corpus against a live passjoind and report
+//	          p50/p90/p99 from its /metrics latency histogram
+//	          (experiments latency -addr URL -corpus FILE [-n N] [-c C])
+//	all       every table and figure above, in order (calibrate,
+//	          hotpath and latency excluded)
 //
 // Corpus sizes scale with -scale small|medium|full; absolute numbers are
 // machine-dependent, the paper's SHAPES (orderings, ratios, crossovers) are
@@ -37,6 +40,16 @@ func main() {
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
+	}
+	// latency takes its own flags (daemon address, replay corpus), so it
+	// consumes the rest of the command line instead of joining the
+	// figure-command loop.
+	if flag.Arg(0) == "latency" {
+		if err := runLatency(flag.Args()[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	cfg, err := newRunConfig(*scale, *seed)
 	if err != nil {
@@ -89,7 +102,7 @@ func run(cfg *runConfig, cmd string) error {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: experiments [-scale small|medium|full] [-seed N] <experiment>...
 
-experiments: table2 fig11 fig12 fig13 fig14 fig15 fig16 table3 ablation calibrate hotpath all
+experiments: table2 fig11 fig12 fig13 fig14 fig15 fig16 table3 ablation calibrate hotpath latency all
 %s`, strings.TrimLeft(`
 Each experiment prints the rows/series of the corresponding table or
 figure of the Pass-Join paper (PVLDB 5(3), 2011).

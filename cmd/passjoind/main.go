@@ -30,9 +30,15 @@
 //	POST   /v1/join/self (bulk self join: lines in, NDJSON pair stream out)
 //	POST   /v1/join     (bulk R×S join: two line sections split by a blank line)
 //	GET    /v1/stats
+//	GET    /metrics     (Prometheus text exposition)
 //	POST   /v1/docs     {"doc": "..."}        (mutable modes)
 //	GET    /v1/docs/{id}                      (mutable modes)
 //	DELETE /v1/docs/{id}                      (mutable modes)
+//
+// Observability: the daemon logs structured records (access log,
+// compaction lifecycle, slow queries) via log/slog — -log-format picks
+// text or json, -log-level the floor, and -slow-query arms per-query
+// phase tracing with threshold logging. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -40,10 +46,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,7 +77,17 @@ func main() {
 	topK := flag.Int("topk", 0, "default k for /v1/topk (0 = default)")
 	joinMaxBytes := flag.Int64("join-max-bytes", 0, "max body size for the bulk-join endpoints (0 = default 32 MiB)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; off by default)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level floor: debug, info, warn, error")
+	slowQuery := flag.Duration("slow-query", 0,
+		"trace every lookup and log those at least this slow with a per-phase breakdown (0 = off; e.g. 50ms)")
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "passjoind:", err)
+		os.Exit(2)
+	}
 
 	mutable := *wal != "" || *dynamic
 	switch {
@@ -93,16 +111,15 @@ func main() {
 	var st passjoin.Stats
 	var idx server.Index
 	var dyn *passjoin.DynamicSearcher
-	var err error
 	start := time.Now()
 	if mutable {
-		dyn, err = buildDynamicIndex(flag.Arg(0), *wal, *tau, *shards, *sel, *ver, *compactEvery, *walSync)
+		dyn, err = buildDynamicIndex(flag.Arg(0), *wal, *tau, *shards, *sel, *ver, *compactEvery, *walSync, logger)
 		idx = dyn
 	} else {
 		idx, err = buildIndex(flag.Arg(0), *snapshot, *tau, *shards, *sel, *ver, &st)
 	}
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 	mode := "static"
 	if dyn != nil {
@@ -111,49 +128,78 @@ func main() {
 			mode = "durable dynamic (" + *wal + ")"
 		}
 	}
-	fmt.Fprintf(os.Stderr, "passjoind: indexed %d strings (tau=%d, %d shards, %s) in %v\n",
-		idx.Len(), idx.Tau(), idx.NumShards(), mode, time.Since(start).Round(time.Millisecond))
+	logger.Info("index ready",
+		"strings", idx.Len(),
+		"tau", idx.Tau(),
+		"shards", idx.NumShards(),
+		"mode", mode,
+		"build_time", time.Since(start).Round(time.Millisecond))
 
 	if *save != "" {
 		if err := writeSnapshot(idx.(*passjoin.ShardedSearcher), *save); err != nil {
-			fatal(err)
+			fatal(logger, err)
 		}
-		fmt.Fprintf(os.Stderr, "passjoind: snapshot written to %s\n", *save)
+		logger.Info("snapshot written", "path", *save)
 	}
 
 	if *pprofAddr != "" {
 		ln, err := startPprof(*pprofAddr)
 		if err != nil {
-			fatal(err)
+			fatal(logger, err)
 		}
-		fmt.Fprintf(os.Stderr, "passjoind: pprof on http://%s/debug/pprof/\n", ln.Addr())
+		logger.Info("pprof listening", "url", fmt.Sprintf("http://%s/debug/pprof/", ln.Addr()))
 	}
 
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: server.New(idx, &st, server.Config{MaxBatch: *maxBatch, DefaultTopK: *topK, MaxJoinBytes: *joinMaxBytes}),
+		Addr: *addr,
+		Handler: server.New(idx, &st, server.Config{
+			MaxBatch:     *maxBatch,
+			DefaultTopK:  *topK,
+			MaxJoinBytes: *joinMaxBytes,
+			Logger:       logger,
+			SlowQuery:    *slowQuery,
+		}),
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "passjoind: serving on %s\n", *addr)
+	logger.Info("serving", "addr", *addr)
 
 	select {
 	case err := <-errc:
-		fatal(err)
+		fatal(logger, err)
 	case <-ctx.Done():
+		logger.Info("shutdown signal received")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			fatal(err)
+			fatal(logger, err)
 		}
 		if dyn != nil {
 			if err := dyn.Close(); err != nil {
-				fatal(err)
+				fatal(logger, err)
 			}
 		}
-		fmt.Fprintln(os.Stderr, "passjoind: shut down")
+		logger.Info("shut down")
+	}
+}
+
+// buildLogger maps the -log-format/-log-level flags onto a slog.Logger
+// writing to stderr.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("invalid -log-level %q (use debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("invalid -log-format %q (use text or json)", format)
 	}
 }
 
@@ -183,11 +229,12 @@ func buildIndex(corpusPath, snapshotPath string, tau, shards int, sel, ver strin
 // index is durable: an existing directory is recovered from base
 // snapshots + WAL tails and the corpus file, if given, is ignored with a
 // notice.
-func buildDynamicIndex(corpusPath, walDir string, tau, shards int, sel, ver string, compactThreshold int, walSync bool) (*passjoin.DynamicSearcher, error) {
+func buildDynamicIndex(corpusPath, walDir string, tau, shards int, sel, ver string, compactThreshold int, walSync bool, logger *slog.Logger) (*passjoin.DynamicSearcher, error) {
 	opts, err := indexOptions(shards, sel, ver, nil)
 	if err != nil {
 		return nil, err
 	}
+	opts = append(opts, passjoin.WithLogger(logger))
 	if compactThreshold < 0 {
 		compactThreshold = -1 // flag help says "negative = manual only"; the library wants exactly -1
 	}
@@ -208,7 +255,8 @@ func buildDynamicIndex(corpusPath, walDir string, tau, shards int, sel, ver stri
 	}
 	if corpusPath != "" {
 		if _, err := os.Stat(filepath.Join(walDir, "meta.json")); err == nil {
-			fmt.Fprintf(os.Stderr, "passjoind: %s already holds an index; corpus file %s ignored\n", walDir, corpusPath)
+			logger.Warn("wal directory already holds an index; corpus file ignored",
+				"dir", walDir, "corpus", corpusPath)
 		}
 	}
 	return passjoin.OpenDynamicSearcher(walDir, corpus, tau, opts...)
@@ -259,7 +307,7 @@ func writeSnapshot(idx *passjoin.ShardedSearcher, path string) error {
 	return f.Close()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "passjoind:", err)
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("fatal", "error", err)
 	os.Exit(1)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"log/slog"
 	"os"
 	"path/filepath"
 	"testing"
@@ -9,6 +10,8 @@ import (
 )
 
 var corpus = []string{"vldb", "pvldb", "sigmod", "sigmmod", "icde", "vldbj"}
+
+func discardLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }
 
 func writeCorpusFile(t *testing.T) string {
 	t.Helper()
@@ -77,7 +80,7 @@ func TestBuildIndexBadFlags(t *testing.T) {
 }
 
 func TestBuildDynamicIndexVolatile(t *testing.T) {
-	idx, err := buildDynamicIndex(writeCorpusFile(t), "", 1, 2, "multimatch", "shareprefix", 0, false)
+	idx, err := buildDynamicIndex(writeCorpusFile(t), "", 1, 2, "multimatch", "shareprefix", 0, false, discardLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +108,7 @@ func TestBuildDynamicIndexVolatile(t *testing.T) {
 // file, mutates, and reopens the same directory — the daemon restart path.
 func TestBuildDynamicIndexDurableRestart(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "data")
-	idx, err := buildDynamicIndex(writeCorpusFile(t), dir, 1, 2, "multimatch", "shareprefix", 4, true)
+	idx, err := buildDynamicIndex(writeCorpusFile(t), dir, 1, 2, "multimatch", "shareprefix", 4, true, discardLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +122,7 @@ func TestBuildDynamicIndexDurableRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Restart with the same flags (corpus file is ignored now).
-	re, err := buildDynamicIndex(writeCorpusFile(t), dir, 1, 0, "multimatch", "shareprefix", 4, true)
+	re, err := buildDynamicIndex(writeCorpusFile(t), dir, 1, 0, "multimatch", "shareprefix", 4, true, discardLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,10 +142,10 @@ func TestBuildDynamicIndexDurableRestart(t *testing.T) {
 }
 
 func TestBuildDynamicIndexBadFlags(t *testing.T) {
-	if _, err := buildDynamicIndex(writeCorpusFile(t), "", 1, 1, "nope", "shareprefix", 0, false); err == nil {
+	if _, err := buildDynamicIndex(writeCorpusFile(t), "", 1, 1, "nope", "shareprefix", 0, false, discardLogger()); err == nil {
 		t.Error("unknown selection accepted")
 	}
-	if _, err := buildDynamicIndex("/nonexistent/corpus.txt", "", 1, 1, "multimatch", "shareprefix", 0, false); err == nil {
+	if _, err := buildDynamicIndex("/nonexistent/corpus.txt", "", 1, 1, "multimatch", "shareprefix", 0, false, discardLogger()); err == nil {
 		t.Error("missing corpus accepted")
 	}
 }

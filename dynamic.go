@@ -14,6 +14,7 @@ import (
 	"passjoin/internal/core"
 	"passjoin/internal/dynamic"
 	"passjoin/internal/metrics"
+	"passjoin/internal/obs"
 )
 
 // DynamicSearcher answers approximate string search queries like
@@ -144,6 +145,9 @@ func openDynamic(dir string, corpus []string, tau int, opts []Option) (*DynamicS
 			CompactThreshold: cfg.compactThreshold,
 			Fsync:            cfg.walSync,
 		}
+		if cfg.logger != nil {
+			tcfg.Logger = cfg.logger.With("shard", s)
+		}
 		if dir != "" {
 			tcfg.WALPath = filepath.Join(dir, fmt.Sprintf("shard-%d.wal", s))
 			tcfg.SnapPath = filepath.Join(dir, fmt.Sprintf("shard-%d.snap", s))
@@ -265,7 +269,7 @@ func (ds *DynamicSearcher) SearchSeq(q string, opts ...QueryOption) iter.Seq[Mat
 		}
 		remaining := qc.limit // 0 = unlimited
 		for _, t := range ds.tiers {
-			hits := t.SearchOpt(q, core.QueryOpts{Tau: qc.tau, Limit: remaining})
+			hits := t.SearchOpt(q, core.QueryOpts{Tau: qc.tau, Limit: remaining, Trace: qc.trace})
 			for _, h := range hits {
 				if !yield(Match{ID: int(h.ID), Dist: h.Dist}) {
 					return
@@ -290,15 +294,27 @@ func (ds *DynamicSearcher) search(q string, qc queryConfig) []Match {
 			parts[s] = t.SearchOpt(q, o)
 		}
 	} else {
+		// Per-shard traces, merged after the join — see ShardedSearcher.
+		var traces []obs.QueryTrace
+		if o.Trace != nil {
+			traces = make([]obs.QueryTrace, n)
+		}
 		var wg sync.WaitGroup
 		for s, t := range ds.tiers {
 			wg.Add(1)
 			go func(s int, t *dynamic.Tier) {
 				defer wg.Done()
-				parts[s] = t.SearchOpt(q, o)
+				so := o
+				if traces != nil {
+					so.Trace = &traces[s]
+				}
+				parts[s] = t.SearchOpt(q, so)
 			}(s, t)
 		}
 		wg.Wait()
+		for i := range traces {
+			o.Trace.Merge(&traces[i])
+		}
 	}
 	total := 0
 	for _, p := range parts {
@@ -369,6 +385,7 @@ func (ds *DynamicSearcher) Stats() Stats {
 			DeltaStrings:  int64(ts.DeltaDocs),
 			Tombstones:    int64(ts.Tombstones),
 			Compactions:   ts.Compactions,
+			CompactErrors: ts.CompactErrors,
 			WALBytes:      ts.WALBytes,
 			WALRecords:    ts.WALRecords,
 			FrozenBytes:   ts.FrozenBytes,

@@ -5,6 +5,7 @@ import (
 
 	"passjoin/internal/index"
 	"passjoin/internal/metrics"
+	"passjoin/internal/obs"
 	"passjoin/internal/selection"
 )
 
@@ -140,6 +141,10 @@ type QueryOpts struct {
 	// Limit, when > 0, stops the probe after that many hits. The hits kept
 	// are the first discovered in probe order — a cheap cap, not a ranking.
 	Limit int
+	// Trace, when non-nil, receives per-phase wall time and counters for
+	// this query. The trace must not be shared with a concurrent query;
+	// parallel fan-outs give each shard its own and Merge after.
+	Trace *obs.QueryTrace
 }
 
 // Query reports previously inserted strings within the threshold of s as
@@ -166,6 +171,11 @@ func (m *Matcher) QueryOpt(s string, o QueryOpts) []Hit {
 	m.epoch++
 	p.needDist = true
 	p.qtau = qtau
+	// The trace hook is cleared via defer for the same reason as emit: a
+	// panic unwinding through the probe must not leave a dead query's trace
+	// armed on a pooled snapshot.
+	p.trace = o.Trace
+	defer func() { p.trace = nil }()
 	var out []Hit
 	if o.Limit > 0 {
 		// Early-exit path: stream through the prober and stop at the cap.
@@ -226,6 +236,8 @@ func (m *Matcher) QuerySeq(s string, o QueryOpts, yield func(Hit) bool) {
 	m.epoch++
 	p.needDist = true
 	p.qtau = qtau
+	p.trace = o.Trace
+	defer func() { p.trace = nil }()
 	n := 0
 	stopped := false
 	// yield is consumer code: it can panic (or Goexit via t.Fatal), and
@@ -370,6 +382,7 @@ func (m *Matcher) match(s string, needDist bool) []int32 {
 	p.epoch = m.epoch
 	p.needDist = needDist
 	p.qtau = m.tau // a prior QueryOpt may have left a tighter budget
+	p.trace = nil  // and must not leave its trace armed either
 	p.probe(s, len(s)-m.tau, len(s)+m.tau)
 	ids := append(make([]int32, 0, len(p.hits)), p.hits...)
 	for _, rid := range m.shorts {

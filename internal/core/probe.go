@@ -3,6 +3,7 @@ package core
 import (
 	"passjoin/internal/index"
 	"passjoin/internal/metrics"
+	"passjoin/internal/obs"
 	"passjoin/internal/partition"
 	"passjoin/internal/selection"
 	"passjoin/internal/verify"
@@ -27,6 +28,12 @@ type prober struct {
 	sel  selection.Method
 	vk   VerifyKind
 	st   *metrics.Stats
+
+	// trace, when non-nil, records per-phase wall time and counters for
+	// the current probe. Every hook below is guarded by an explicit nil
+	// check at the call site, so the untraced path pays only predictable
+	// branches — no clock reads, no calls.
+	trace *obs.QueryTrace
 
 	idx *index.Index
 	fz  *index.Frozen
@@ -157,13 +164,24 @@ func (p *prober) probe(s string, lmin, lmax int) {
 				pi = partition.SegPos(l, tau, i)
 				li = partition.SegLen(l, tau, i)
 			}
+			if p.trace != nil {
+				p.trace.Begin(obs.PhaseSelect)
+			}
 			lo, hi := p.sel.WindowQ(len(s), l, p.qtau, tau+1, i, pi, li)
+			if p.trace != nil {
+				p.trace.End(obs.PhaseSelect)
+			}
 			if hi < lo {
 				continue
 			}
 			if p.st != nil {
 				p.st.SelectedSubstrings += int64(hi - lo + 1)
 				p.st.Lookups += int64(hi - lo + 1)
+			}
+			if p.trace != nil {
+				p.trace.AddCount(obs.PhaseSelect, int64(hi-lo+1))
+				p.trace.Begin(obs.PhaseProbe)
+				p.trace.AddCount(obs.PhaseProbe, int64(hi-lo+1))
 			}
 			for pos := lo; pos <= hi; pos++ {
 				w := s[pos-1 : pos-1+li]
@@ -181,8 +199,14 @@ func (p *prober) probe(s string, lmin, lmax int) {
 				}
 				p.handleList(s, lst, i, pos, pi, li)
 				if p.stopped {
+					if p.trace != nil {
+						p.trace.End(obs.PhaseProbe)
+					}
 					return
 				}
+			}
+			if p.trace != nil {
+				p.trace.End(obs.PhaseProbe)
 			}
 		}
 	}
@@ -212,6 +236,10 @@ func (p *prober) handleList(s string, lst []int32, i, pos, pi, li int) {
 // alignment, so each pair enters the batch at most once per probe (checked
 // stamp).
 func (p *prober) collectWhole(lst []int32) {
+	if p.trace != nil {
+		p.trace.Begin(obs.PhaseDedup)
+		p.trace.AddCount(obs.PhaseDedup, int64(len(lst)))
+	}
 	for _, rid := range lst {
 		if p.maxID >= 0 && rid >= p.maxID {
 			continue
@@ -228,6 +256,9 @@ func (p *prober) collectWhole(lst []int32) {
 		}
 		p.batch = append(p.batch, rid)
 	}
+	if p.trace != nil {
+		p.trace.End(obs.PhaseDedup)
+	}
 }
 
 // flushBatch verifies the collected candidate set in one pass and emits
@@ -238,6 +269,10 @@ func (p *prober) collectWhole(lst []int32) {
 func (p *prober) flushBatch(s string) {
 	if len(p.batch) == 0 {
 		return
+	}
+	if p.trace != nil {
+		p.trace.Begin(obs.PhaseVerify)
+		p.trace.AddCount(obs.PhaseVerify, int64(len(p.batch)))
 	}
 	tau := p.qtau
 	for _, rid := range p.batch {
@@ -255,9 +290,12 @@ func (p *prober) flushBatch(s string) {
 		}
 		if d <= tau {
 			if !p.accept(rid, int32(d)) {
-				return
+				break
 			}
 		}
+	}
+	if p.trace != nil {
+		p.trace.End(obs.PhaseVerify)
 	}
 }
 
@@ -320,6 +358,10 @@ func (p *prober) verifyExtension(s string, lst []int32, i, pos, pi, li int) {
 		p.incL.Reset(sl, tauL)
 		p.incR.Reset(sr, tauR)
 	}
+	if p.trace != nil {
+		p.trace.Begin(obs.PhaseVerify)
+	}
+	nv := int64(0)
 	for _, rid := range lst {
 		if p.maxID >= 0 && rid >= p.maxID {
 			continue
@@ -333,6 +375,7 @@ func (p *prober) verifyExtension(s string, lst []int32, i, pos, pi, li int) {
 		if p.st != nil {
 			p.st.Verifications++
 		}
+		nv++
 		r := p.ref[rid]
 		rl := r[:pi-1]
 		rr := r[pi-1+li:]
@@ -367,8 +410,12 @@ func (p *prober) verifyExtension(s string, lst []int32, i, pos, pi, li int) {
 			d = int32(p.ver.DistPattern(&p.pat, r, p.qtau))
 		}
 		if !p.accept(rid, d) {
-			return
+			break
 		}
+	}
+	if p.trace != nil {
+		p.trace.AddCount(obs.PhaseVerify, nv)
+		p.trace.End(obs.PhaseVerify)
 	}
 }
 
@@ -400,5 +447,12 @@ func (p *prober) verifyDirect(r, s string) int {
 		p.st.UniqueCandidates++
 		p.st.Verifications++
 	}
-	return p.ver.Dist(r, s, p.qtau)
+	if p.trace == nil {
+		return p.ver.Dist(r, s, p.qtau)
+	}
+	p.trace.Begin(obs.PhaseVerify)
+	p.trace.AddCount(obs.PhaseVerify, 1)
+	d := p.ver.Dist(r, s, p.qtau)
+	p.trace.End(obs.PhaseVerify)
+	return d
 }

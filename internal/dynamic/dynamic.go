@@ -39,10 +39,12 @@ package dynamic
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"passjoin/internal/core"
 	"passjoin/internal/selection"
@@ -76,6 +78,10 @@ type Config struct {
 	// crashes (the kernel has the writes) but not kernel crashes or
 	// power loss.
 	Fsync bool
+	// Logger receives the tier's write-path events: compaction start and
+	// finish (with durations and sizes), background-compaction failures,
+	// and WAL torn-tail truncations at startup. Nil discards them.
+	Logger *slog.Logger
 }
 
 // Hit is one query result: a global document id and the exact edit
@@ -122,10 +128,13 @@ type Tier struct {
 	lastErr  error // most recent background-compaction failure
 	closed   bool
 
-	cmu         sync.Mutex // serializes compactions
-	compacting  atomic.Bool
-	compactWG   sync.WaitGroup
-	compactions atomic.Int64
+	cmu           sync.Mutex // serializes compactions
+	compacting    atomic.Bool
+	compactWG     sync.WaitGroup
+	compactions   atomic.Int64
+	compactErrors atomic.Int64 // failed compactions (background and synchronous)
+
+	logger *slog.Logger // never nil; discards when unconfigured
 }
 
 // Stats is a point-in-time summary of a tier's shape.
@@ -136,6 +145,7 @@ type Stats struct {
 	Tombstones    int   // pending deletes
 	MaxID         int64 // largest global id observed; -1 when none
 	Compactions   int64 // completed compactions
+	CompactErrors int64 // failed compactions (background and synchronous)
 	WALBytes      int64 // current WAL size (0 without durability)
 	WALRecords    int64 // current WAL record count
 	FrozenBytes   int64 // retained size of the frozen base
@@ -156,10 +166,14 @@ func Open(cfg Config) (*Tier, error) {
 		cfg.CompactThreshold = DefaultCompactThreshold
 	}
 	t := &Tier{
-		cfg:   cfg,
-		byID:  make(map[int64]entry),
-		tombs: make(map[int64]struct{}),
-		maxID: -1,
+		cfg:    cfg,
+		byID:   make(map[int64]entry),
+		tombs:  make(map[int64]struct{}),
+		maxID:  -1,
+		logger: cfg.Logger,
+	}
+	if t.logger == nil {
+		t.logger = slog.New(slog.DiscardHandler)
 	}
 	var err error
 	if t.delta, err = core.NewMatcher(cfg.Tau, cfg.Selection, cfg.Verification, nil); err != nil {
@@ -176,6 +190,15 @@ func Open(cfg Config) (*Tier, error) {
 			return nil, err
 		}
 		t.wal = wal
+		if wal.Truncated != nil {
+			// Routine crash recovery, but operators should see it: the torn
+			// bytes were acknowledged writes only if fsync was off.
+			t.logger.Warn("wal torn tail truncated",
+				"path", cfg.WALPath,
+				"replayed_records", len(ops),
+				"kept_bytes", wal.Bytes(),
+				"error", wal.Truncated)
+		}
 		for _, op := range ops {
 			t.applyReplayed(op)
 		}
@@ -346,6 +369,10 @@ func (t *Tier) Insert(gid int64, doc string) error {
 			defer t.compactWG.Done()
 			defer t.compacting.Store(false)
 			if err := t.Compact(); err != nil {
+				// Loudly: the tier keeps serving and the WAL keeps growing,
+				// but a silent lastErr is how disks fill up. The counter
+				// feeds passjoin_compact_errors_total.
+				t.logger.Error("background compaction failed", "error", err)
 				t.mu.Lock()
 				t.lastErr = err
 				t.mu.Unlock()
@@ -399,7 +426,9 @@ func (t *Tier) SearchOpt(q string, o core.QueryOpts) []Hit {
 	full := func() bool { return o.Limit > 0 && len(out) >= o.Limit }
 	// The engine-level cap cannot see tombstones, so the filtering and
 	// capping happen here, streaming via QuerySeq for the early exit.
-	probe := core.QueryOpts{Tau: o.Tau}
+	// Base and delta probe sequentially on this goroutine, so they can
+	// share the caller's trace directly.
+	probe := core.QueryOpts{Tau: o.Tau, Trace: o.Trace}
 	if b := t.base.Load(); b != nil {
 		m := b.pool.Get().(*core.Matcher)
 		m.QuerySeq(q, probe, func(h core.Hit) bool {
@@ -479,8 +508,17 @@ func (t *Tier) Err() error {
 // delta. With durability the new base snapshot is written before the
 // swap, outside the lock.
 func (t *Tier) Compact() error {
+	if err := t.compact(); err != nil {
+		t.compactErrors.Add(1)
+		return err
+	}
+	return nil
+}
+
+func (t *Tier) compact() error {
 	t.cmu.Lock()
 	defer t.cmu.Unlock()
+	start := time.Now()
 
 	// Capture a consistent cut: the current base generation, the delta
 	// prefix, and the tombstones accumulated so far.
@@ -501,6 +539,15 @@ func (t *Tier) Compact() error {
 	}
 	maxID := t.maxID
 	t.mu.RUnlock()
+
+	baseN := 0
+	if oldBase != nil {
+		baseN = len(oldBase.ids)
+	}
+	t.logger.Info("compaction started",
+		"base_docs", baseN,
+		"delta_docs", cutLen,
+		"tombstones", len(cutTombs))
 
 	// Rebuild the base from the survivors, outside any lock.
 	var survivors []string
@@ -603,6 +650,15 @@ func (t *Tier) Compact() error {
 		t.byID[gid] = entry{pos: int32(i), delta: true}
 	}
 	t.compactions.Add(1)
+	var frozenBytes int64
+	if fz := m.FrozenIndex(); fz != nil {
+		frozenBytes = fz.Bytes()
+	}
+	t.logger.Info("compaction finished",
+		"duration", time.Since(start),
+		"docs", len(gids),
+		"delta_tail", len(newIDs),
+		"frozen_bytes", frozenBytes)
 	return nil
 }
 
@@ -611,11 +667,12 @@ func (t *Tier) Stats() Stats {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	st := Stats{
-		Live:        t.live,
-		DeltaDocs:   t.delta.Len(),
-		Tombstones:  len(t.tombs),
-		MaxID:       t.maxID,
-		Compactions: t.compactions.Load(),
+		Live:          t.live,
+		DeltaDocs:     t.delta.Len(),
+		Tombstones:    len(t.tombs),
+		MaxID:         t.maxID,
+		Compactions:   t.compactions.Load(),
+		CompactErrors: t.compactErrors.Load(),
 	}
 	if b := t.base.Load(); b != nil {
 		st.BaseDocs = len(b.ids)

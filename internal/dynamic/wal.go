@@ -68,6 +68,12 @@ type WAL struct {
 	records int64
 	fsync   bool
 	failed  error
+
+	// Truncated records the ErrWALCorrupt that OpenWAL swallowed when it
+	// cut a torn tail off the log. The truncation itself is routine crash
+	// recovery — not a failure — but it is exactly the kind of event an
+	// operator wants in the logs, so the tier surfaces it at startup.
+	Truncated error
 }
 
 // OpenWAL opens (creating if needed) the log at path, replays every whole
@@ -86,11 +92,15 @@ func OpenWAL(path string, fsync bool) (*WAL, []Op, error) {
 		f.Close()
 		return nil, nil, err
 	}
+	var truncated error
+	if errors.Is(err, ErrWALCorrupt) {
+		truncated = err
+	}
 	if err := f.Truncate(good); err != nil {
 		f.Close()
 		return nil, nil, err
 	}
-	return &WAL{f: f, path: path, bytes: good, records: int64(len(ops)), fsync: fsync}, ops, nil
+	return &WAL{f: f, path: path, bytes: good, records: int64(len(ops)), fsync: fsync, Truncated: truncated}, ops, nil
 }
 
 // ErrWALCorrupt marks a log whose tail could not be parsed; everything

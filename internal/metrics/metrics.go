@@ -56,11 +56,12 @@ type Stats struct {
 	// Tombstones the deletes pending compaction, Compactions the
 	// completed base rebuilds, and WALBytes/WALRecords the current
 	// write-ahead-log footprint. All zero for static runs.
-	DeltaStrings int64
-	Tombstones   int64
-	Compactions  int64
-	WALBytes     int64
-	WALRecords   int64
+	DeltaStrings  int64
+	Tombstones    int64
+	Compactions   int64
+	CompactErrors int64
+	WALBytes      int64
+	WALRecords    int64
 	// PeakLiveGroups is the largest number of simultaneously live length
 	// groups (the paper bounds this by τ+1 for self joins and 2τ+1 for R≠S
 	// joins under the sliding-window scan).
@@ -91,6 +92,7 @@ func (s *Stats) Add(o *Stats) {
 	s.DeltaStrings += o.DeltaStrings
 	s.Tombstones += o.Tombstones
 	s.Compactions += o.Compactions
+	s.CompactErrors += o.CompactErrors
 	s.WALBytes += o.WALBytes
 	s.WALRecords += o.WALRecords
 	if o.PeakLiveGroups > s.PeakLiveGroups {
@@ -140,6 +142,7 @@ func (s *Stats) String() string {
 	w("deltaStrings", s.DeltaStrings)
 	w("tombstones", s.Tombstones)
 	w("compactions", s.Compactions)
+	w("compactErrors", s.CompactErrors)
 	w("walBytes", s.WALBytes)
 	w("walRecords", s.WALRecords)
 	w("peakGroups", s.PeakLiveGroups)

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteTo renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each
+// preceded by its # HELP and # TYPE lines, histograms expanded into
+// cumulative _bucket/_sum/_count series.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	for _, f := range fams {
+		f.write(cw)
+		if cw.err != nil {
+			return cw.n, cw.err
+		}
+	}
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// Handler returns an http.Handler serving the exposition — the body of
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = r.WriteTo(w)
+	})
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) WriteString(s string) {
+	if cw.err != nil {
+		return
+	}
+	n, err := io.WriteString(cw.w, s)
+	cw.n += int64(n)
+	cw.err = err
+}
+
+func (f *family) write(cw *countingWriter) {
+	cw.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n")
+	cw.WriteString("# TYPE " + f.name + " " + f.typ + "\n")
+	if f.collect != nil {
+		f.collect(func(labelVals []string, v float64) {
+			cw.WriteString(f.name + labelString(f.labelNames, labelVals, "", "") + " " + formatFloat(v) + "\n")
+		})
+		return
+	}
+	f.mu.RLock()
+	sers := make([]*series, 0, len(f.keys))
+	for _, k := range f.keys {
+		sers = append(sers, f.series[k])
+	}
+	f.mu.RUnlock()
+	for _, s := range sers {
+		if s.h != nil {
+			f.writeHistogram(cw, s)
+			continue
+		}
+		cw.WriteString(f.name + labelString(f.labelNames, s.labelVals, "", "") + " " + strconv.FormatInt(s.c.Value(), 10) + "\n")
+	}
+}
+
+func (f *family) writeHistogram(cw *countingWriter, s *series) {
+	var cum int64
+	for i, b := range s.h.bounds {
+		cum += s.h.counts[i].Load()
+		cw.WriteString(f.name + "_bucket" + labelString(f.labelNames, s.labelVals, "le", formatFloat(b)) +
+			" " + strconv.FormatInt(cum, 10) + "\n")
+	}
+	cum += s.h.counts[len(s.h.bounds)].Load()
+	cw.WriteString(f.name + "_bucket" + labelString(f.labelNames, s.labelVals, "le", "+Inf") +
+		" " + strconv.FormatInt(cum, 10) + "\n")
+	cw.WriteString(f.name + "_sum" + labelString(f.labelNames, s.labelVals, "", "") + " " + formatFloat(s.h.Sum()) + "\n")
+	cw.WriteString(f.name + "_count" + labelString(f.labelNames, s.labelVals, "", "") + " " + strconv.FormatInt(cum, 10) + "\n")
+}
+
+// labelString renders {a="x",b="y"} (or "" when there are no labels),
+// with an optional extra label appended (the histogram le).
+func labelString(names, vals []string, extraName, extraVal string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

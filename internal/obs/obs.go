@@ -1,0 +1,271 @@
+// Package obs is the serving stack's flight recorder: dependency-free
+// metrics primitives (atomic counters, lazily sampled gauges, fixed-bucket
+// latency histograms), a Registry that exposes them in the Prometheus text
+// exposition format, and a zero-alloc per-query phase tracer (trace.go).
+//
+// Design constraints, in order:
+//
+//   - The hot path must stay hot. Counter.Add and Histogram.Observe are a
+//     single atomic add (plus a branch-free bucket search); resolving a
+//     labeled series (Vec.With) costs one read-locked map lookup and is
+//     meant to be done once per request, not per operation. The tracer is
+//     nil-safe like metrics.Stats: an untraced query pays only nil checks.
+//   - No dependencies. The Prometheus client library is a heavyweight
+//     import for what is, on the exposition side, a line protocol; this
+//     package writes it directly and a conformance test in internal/server
+//     parses every emitted line back.
+//   - Scrape-time sampling over push. Gauges for index shape (frozen
+//     bytes, delta docs, WAL footprint) are callbacks evaluated per
+//     scrape, so the write path never updates a mirror of state it
+//     already owns.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotone; this is not
+// checked on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket histogram of float64 observations (by
+// convention: seconds). Buckets are cumulative at exposition time but
+// stored per-interval, so Observe is one atomic add after a short search
+// over the (log-spaced, typically <=20) bounds. The zero value is not
+// usable; histograms are created by Registry.HistogramVec.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf implicit
+	counts  []atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the observation sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one observation. Lock-free: a bucket increment plus a
+// CAS loop on the sum (uncontended in practice — scrapes read, only
+// observers write).
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: le is inclusive
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// ExpBuckets returns n log-spaced upper bounds starting at start and
+// multiplying by factor — the standard shape for latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// LatencyBuckets covers 100µs..~26s in half-decade steps — request
+// latencies. PhaseBuckets covers 1µs..~4s — per-phase query timings.
+var (
+	LatencyBuckets = ExpBuckets(100e-6, 2.5, 14)
+	PhaseBuckets   = ExpBuckets(1e-6, 4, 12)
+)
+
+// family is one exposition family: a name, HELP/TYPE metadata, and either
+// eagerly updated series (counters/histograms) or a scrape-time callback.
+type family struct {
+	name       string
+	help       string
+	typ        string // "counter", "gauge", "histogram"
+	labelNames []string
+	bounds     []float64 // histogram families only
+
+	mu     sync.RWMutex
+	keys   []string // series insertion order
+	series map[string]*series
+
+	collect CollectFn // lazy families; nil for eager ones
+}
+
+type series struct {
+	labelVals []string
+	c         *Counter
+	h         *Histogram
+}
+
+// CollectFn emits a lazy family's series at scrape time: call emit once
+// per series with the label values (matching the registered label names)
+// and the current value.
+type CollectFn func(emit func(labelVals []string, v float64))
+
+// Registry holds metric families and writes them in the Prometheus text
+// exposition format. All methods are safe for concurrent use; families
+// are typically registered at construction and only read (scraped or
+// updated) afterwards.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func (r *Registry) add(f *family) *family {
+	if !nameRe.MatchString(f.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
+	}
+	for _, l := range f.labelNames {
+		if !labelRe.MatchString(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[f.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric family %q", f.name))
+	}
+	f.series = map[string]*series{}
+	r.fams[f.name] = f
+	return f
+}
+
+// CounterVec registers a counter family with the given label dimensions
+// (none for a single-series counter).
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.add(&family{name: name, help: help, typ: "counter", labelNames: labelNames})}
+}
+
+// Counter registers and returns a single unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// HistogramVec registers a histogram family with the given bucket bounds
+// and label dimensions.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labelNames ...string) *HistogramVec {
+	if len(bounds) == 0 || !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q needs ascending bucket bounds", name))
+	}
+	b := append([]float64(nil), bounds...)
+	return &HistogramVec{r.add(&family{name: name, help: help, typ: "histogram", labelNames: labelNames, bounds: b})}
+}
+
+// GaugeFunc registers a gauge whose value is sampled at scrape time.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.add(&family{name: name, help: help, typ: "gauge",
+		collect: func(emit func([]string, float64)) { emit(nil, f()) }})
+}
+
+// CounterFunc registers a counter whose value is sampled at scrape time —
+// for counts owned elsewhere (server atomics, compaction tallies) that
+// must not be double-maintained.
+func (r *Registry) CounterFunc(name, help string, f func() float64) {
+	r.add(&family{name: name, help: help, typ: "counter",
+		collect: func(emit func([]string, float64)) { emit(nil, f()) }})
+}
+
+// Collect registers a lazy family whose series (label values and values)
+// are produced by f at scrape time. typ is "counter" or "gauge".
+func (r *Registry) Collect(name, help, typ string, labelNames []string, f CollectFn) {
+	if typ != "counter" && typ != "gauge" {
+		panic(fmt.Sprintf("obs: lazy family %q must be counter or gauge, not %q", name, typ))
+	}
+	r.add(&family{name: name, help: help, typ: typ, labelNames: labelNames, collect: f})
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the counter for the given label values (created on first
+// use). The result should be cached by hot-path callers; With itself is a
+// read-locked map lookup.
+func (v *CounterVec) With(labelVals ...string) *Counter {
+	s := v.f.with(labelVals)
+	return s.c
+}
+
+// With returns the histogram for the given label values (created on
+// first use).
+func (v *HistogramVec) With(labelVals ...string) *Histogram {
+	s := v.f.with(labelVals)
+	return s.h
+}
+
+func (f *family) with(labelVals []string) *series {
+	if len(labelVals) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: %s expects %d label values, got %d", f.name, len(f.labelNames), len(labelVals)))
+	}
+	key := strings.Join(labelVals, "\xff")
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	s = &series{labelVals: append([]string(nil), labelVals...)}
+	if f.typ == "histogram" {
+		s.h = newHistogram(f.bounds)
+	} else {
+		s.c = &Counter{}
+	}
+	f.series[key] = s
+	f.keys = append(f.keys, key)
+	return s
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// runtimeSamples are the runtime/metrics series the flight recorder
+// exposes. Sampled per scrape — the runtime maintains these for free.
+var runtimeSamples = []struct {
+	name   string // runtime/metrics name
+	metric string // exposition name
+	help   string
+	typ    string
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines", "Number of live goroutines.", "gauge"},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "Bytes occupied by live heap objects plus not-yet-swept dead objects.", "gauge"},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "Completed GC cycles since program start.", "counter"},
+	{"/sched/pauses/total/gc:seconds", "go_gc_pause_seconds_total", "Approximate total stop-the-world GC pause time (histogram bucket midpoints).", "counter"},
+}
+
+// RegisterRuntime registers Go runtime gauges and counters (goroutines,
+// heap bytes, GC cycles and pause time) on r, sampled at scrape time via
+// runtime/metrics.
+func RegisterRuntime(r *Registry) {
+	for _, rs := range runtimeSamples {
+		rs := rs
+		sample := func() float64 {
+			s := []metrics.Sample{{Name: rs.name}}
+			metrics.Read(s)
+			switch s[0].Value.Kind() {
+			case metrics.KindUint64:
+				return float64(s[0].Value.Uint64())
+			case metrics.KindFloat64:
+				return s[0].Value.Float64()
+			case metrics.KindFloat64Histogram:
+				return histogramApproxSum(s[0].Value.Float64Histogram())
+			default:
+				return 0
+			}
+		}
+		if rs.typ == "counter" {
+			r.CounterFunc(rs.metric, rs.help, sample)
+		} else {
+			r.GaugeFunc(rs.metric, rs.help, sample)
+		}
+	}
+}
+
+// histogramApproxSum approximates the sum of observations in a
+// runtime/metrics histogram by weighting bucket counts with bucket
+// midpoints. Unbounded edge buckets fall back to their finite edge.
+func histogramApproxSum(h *metrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	var sum float64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		var mid float64
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			mid = 0
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		default:
+			mid = (lo + hi) / 2
+		}
+		sum += mid * float64(n)
+	}
+	return sum
+}

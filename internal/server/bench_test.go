@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"passjoin"
 	"passjoin/internal/dataset"
@@ -45,6 +46,47 @@ func BenchmarkShardScaling(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkServerSearchObserved measures what the flight recorder costs a
+// search request. "raw" is the lookup alone (index probe + fetch, no
+// HTTP); "handler" is the full instrumented stack (middleware, counters,
+// latency histogram, access log discarded); "traced" additionally arms
+// per-query phase tracing as a SlowQuery configuration would. The
+// raw-vs-handler gap is HTTP plumbing + observability; handler-vs-traced
+// isolates the tracer. Results are recorded in BENCH_obs.json.
+func BenchmarkServerSearchObserved(b *testing.B) {
+	corpus, err := dataset.ByName("author", 4000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := passjoin.NewShardedSearcher(corpus, 2, passjoin.WithShards(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := New(idx, nil, Config{})
+	traced := New(idx, nil, Config{SlowQuery: time.Hour})
+
+	b.Run("raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			srv.lookup(corpus[i%len(corpus)], 0, -1, nil)
+		}
+	})
+	run := func(s *Server) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := strings.ReplaceAll(corpus[i%len(corpus)], " ", "%20")
+				req := httptest.NewRequest("GET", "/v1/search?q="+q, nil)
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != 200 {
+					b.Fatalf("status %d", rec.Code)
+				}
+			}
+		}
+	}
+	b.Run("handler", run(srv))
+	b.Run("traced", run(traced))
 }
 
 // BenchmarkBatchEndpoint measures the batch path, where the server adds

@@ -25,6 +25,16 @@
 //	                           by one blank line, NDJSON records out
 //	                           (&engine= supported as well)
 //	GET    /v1/stats           server counters + aggregated index stats
+//	GET    /metrics            Prometheus text exposition of the same
+//	                           (plus per-route latency histograms,
+//	                           per-phase query timings and Go runtime
+//	                           stats)
+//
+// Every response carries an X-Request-Id header (propagated from the
+// request's own X-Request-Id, or generated), and every request is
+// access-logged through Config.Logger with that id. Search-style
+// endpoints answer ?debug=timings with a per-phase timing breakdown,
+// and Config.SlowQuery arms threshold logging of slow lookups.
 //
 // When the index is mutable (implements MutableIndex), the write path is
 // exposed as well:
@@ -45,6 +55,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -96,6 +107,16 @@ type Config struct {
 	// /v1/join and /v1/join/self, which hold the uploaded corpus in
 	// memory for the duration of the join (default 32 MiB).
 	MaxJoinBytes int64
+	// Logger receives the access log, the slow-query log and handler
+	// diagnostics as structured records. Nil discards them (metrics keep
+	// recording either way).
+	Logger *slog.Logger
+	// SlowQuery, when > 0, traces every lookup (search, topk, batch) and
+	// logs those whose end-to-end time meets the threshold at Warn level
+	// with a per-phase breakdown; each also increments
+	// passjoin_slow_queries_total and the phase histograms. Zero disables
+	// tracing except for requests that ask with ?debug=timings.
+	SlowQuery time.Duration
 }
 
 const (
@@ -133,12 +154,15 @@ func (c Config) withDefaults() Config {
 // the index is mutable — accepts live document inserts and deletes. It
 // implements http.Handler.
 type Server struct {
-	idx   Index
-	dyn   MutableIndex // non-nil when idx is mutable
-	stats passjoin.Stats
-	cfg   Config
-	mux   *http.ServeMux
-	start time.Time
+	idx    Index
+	dyn    MutableIndex // non-nil when idx is mutable
+	stats  passjoin.Stats
+	cfg    Config
+	mux    *http.ServeMux
+	start  time.Time
+	logger *slog.Logger // never nil; discards when unconfigured
+	obsv   *serverObs
+	build  buildInfo
 
 	queries   atomic.Int64 // lookups answered across search/batch/topk
 	matches   atomic.Int64 // matches returned across those lookups
@@ -170,15 +194,29 @@ func New(idx Index, indexStats *passjoin.Stats, cfg Config) *Server {
 	if indexStats != nil {
 		s.stats = *indexStats
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/search", s.handleSearch)
-	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
-	s.mux.HandleFunc("POST /v1/dedup", s.handleDedup)
-	s.mux.HandleFunc("POST /v1/join/self", s.handleJoinSelf)
-	s.mux.HandleFunc("POST /v1/join", s.handleJoinRS)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.logger = s.cfg.Logger
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
+	s.build = readBuildInfo()
+	s.obsv = newServerObs(s)
+	// Every route goes through instrument (request IDs, access log,
+	// per-route counters and latency histograms). The route label is the
+	// registration pattern's path, fixed here so its cardinality is the
+	// route table, never the request URL.
+	handle := func(method, path string, h http.HandlerFunc) {
+		s.mux.Handle(method+" "+path, s.instrument(path, h))
+	}
+	handle("GET", "/healthz", s.handleHealth)
+	handle("GET", "/v1/search", s.handleSearch)
+	handle("POST", "/v1/search", s.handleSearch)
+	handle("POST", "/v1/batch", s.handleBatch)
+	handle("GET", "/v1/topk", s.handleTopK)
+	handle("POST", "/v1/dedup", s.handleDedup)
+	handle("POST", "/v1/join/self", s.handleJoinSelf)
+	handle("POST", "/v1/join", s.handleJoinRS)
+	handle("GET", "/v1/stats", s.handleStats)
+	handle("GET", "/metrics", s.handleMetrics)
 	allow := map[string]string{
 		"/healthz":      "GET",
 		"/v1/search":    "GET, POST",
@@ -188,23 +226,29 @@ func New(idx Index, indexStats *passjoin.Stats, cfg Config) *Server {
 		"/v1/join/self": "POST",
 		"/v1/join":      "POST",
 		"/v1/stats":     "GET",
+		"/metrics":      "GET",
 	}
 	if s.dyn != nil {
-		s.mux.HandleFunc("POST /v1/docs", s.handleInsert)
-		s.mux.HandleFunc("GET /v1/docs/{id}", s.handleGetDoc)
-		s.mux.HandleFunc("DELETE /v1/docs/{id}", s.handleDeleteDoc)
+		handle("POST", "/v1/docs", s.handleInsert)
+		handle("GET", "/v1/docs/{id}", s.handleGetDoc)
+		handle("DELETE", "/v1/docs/{id}", s.handleDeleteDoc)
 		allow["/v1/docs"] = "POST"
 		allow["/v1/docs/{id}"] = "GET, DELETE"
 	}
 	// Method-less fallbacks: a wrong-method hit on a known route answers
 	// a JSON 405 with an Allow header instead of the mux default (the
 	// method-specific patterns above are more specific, so they keep
-	// winning for supported methods).
+	// winning for supported methods). Instrumented too: 405s show up in
+	// the per-status counters under their route.
 	for path, methods := range allow {
-		s.mux.HandleFunc(path, methodNotAllowed(methods))
+		s.mux.Handle(path, s.instrument(path, methodNotAllowed(methods)))
 	}
 	return s
 }
+
+// Metrics returns the server's metric registry — the same families
+// /metrics exposes — for tests and embedders.
+func (s *Server) Metrics() http.Handler { return s.obsv.reg.Handler() }
 
 func methodNotAllowed(allow string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -225,10 +269,12 @@ type Match struct {
 	Dist   int    `json:"dist"`
 }
 
-// SearchResponse is the reply to /v1/search and /v1/topk.
+// SearchResponse is the reply to /v1/search and /v1/topk. Timings is
+// present only when the request asked with ?debug=timings.
 type SearchResponse struct {
-	Query   string  `json:"query"`
-	Matches []Match `json:"matches"`
+	Query   string   `json:"query"`
+	Matches []Match  `json:"matches"`
+	Timings *Timings `json:"timings,omitempty"`
 }
 
 // BatchRequest is the body of /v1/batch. K > 0 truncates each result to
@@ -306,10 +352,15 @@ type StatsResponse struct {
 	DeltaDocs     int64            `json:"delta_docs"`
 	Tombstones    int64            `json:"tombstones"`
 	Compactions   int64            `json:"compactions"`
+	CompactErrors int64            `json:"compact_errors"`
 	WALBytes      int64            `json:"wal_bytes"`
 	WALRecords    int64            `json:"wal_records"`
 	CompactError  string           `json:"compact_error,omitempty"`
-	Index         passjoin.Stats   `json:"index"`
+	// GoVersion and Revision identify the running build (toolchain
+	// version and VCS commit; "unknown" outside a VCS build).
+	GoVersion string         `json:"go_version"`
+	Revision  string         `json:"revision"`
+	Index     passjoin.Stats `json:"index"`
 }
 
 type errorResponse struct {
@@ -415,7 +466,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be non-negative")
 		return
 	}
-	writeJSON(w, http.StatusOK, SearchResponse{Query: q, Matches: s.lookup(q, k, tau)})
+	matches, timings := s.tracedLookup(r, q, k, tau)
+	writeJSON(w, http.StatusOK, SearchResponse{Query: q, Matches: matches, Timings: timings})
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -436,7 +488,8 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, SearchResponse{Query: q, Matches: s.lookup(q, k, tau)})
+	matches, timings := s.tracedLookup(r, q, k, tau)
+	writeJSON(w, http.StatusOK, SearchResponse{Query: q, Matches: matches, Timings: timings})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -468,6 +521,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if workers > len(req.Queries) {
 		workers = len(req.Queries)
 	}
+	// With slow-query tracing armed, every batch query gets its own trace
+	// (a trace must not be shared across the concurrent workers).
+	traced := s.cfg.SlowQuery > 0
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for range workers {
@@ -479,7 +535,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				if i >= len(req.Queries) {
 					return
 				}
-				results[i] = s.lookup(req.Queries[i], req.K, tau)
+				if traced {
+					var tr passjoin.Trace
+					qstart := time.Now()
+					results[i] = s.lookup(req.Queries[i], req.K, tau, &tr)
+					s.observeTrace(req.Queries[i], &tr, time.Since(qstart))
+				} else {
+					results[i] = s.lookup(req.Queries[i], req.K, tau, nil)
+				}
 			}
 		}()
 	}
@@ -839,24 +902,51 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DeltaDocs:     ist.DeltaDocs,
 		Tombstones:    ist.Tombstones,
 		Compactions:   ist.Compactions,
+		CompactErrors: ist.CompactErrors,
 		WALBytes:      ist.WALBytes,
 		WALRecords:    ist.WALRecords,
 		CompactError:  compactErr,
+		GoVersion:     s.build.goVersion,
+		Revision:      s.build.revision,
 		Index:         ist,
 	})
+}
+
+// tracedLookup answers one query, attaching a phase trace when the
+// request asks for ?debug=timings or slow-query logging is armed. The
+// returned Timings is non-nil only for the debug case.
+func (s *Server) tracedLookup(r *http.Request, q string, k, tau int) ([]Match, *Timings) {
+	debug := r.URL.Query().Get("debug") == "timings"
+	if !debug && s.cfg.SlowQuery <= 0 {
+		return s.lookup(q, k, tau, nil), nil
+	}
+	var tr passjoin.Trace
+	start := time.Now()
+	matches := s.lookup(q, k, tau, &tr)
+	total := time.Since(start)
+	s.observeTrace(q, &tr, total)
+	if !debug {
+		return matches, nil
+	}
+	return matches, timingsFrom(&tr, total)
 }
 
 // lookup answers one query against the shared index: all matches within
 // the effective threshold (tau >= 0 overrides the index threshold),
 // truncated to the k nearest when k > 0. One frozen index serves the
 // whole spectrum of thresholds, so the override costs no extra memory.
-func (s *Server) lookup(q string, k, tau int) []Match {
+// tr, when non-nil, records the probe's per-phase breakdown; it must not
+// be shared with a concurrent lookup.
+func (s *Server) lookup(q string, k, tau int, tr *passjoin.Trace) []Match {
 	var opts []passjoin.QueryOption
 	if tau >= 0 {
 		opts = append(opts, passjoin.QueryTau(tau))
 	}
 	if k > 0 {
 		opts = append(opts, passjoin.QueryTopK(k))
+	}
+	if tr != nil {
+		opts = append(opts, passjoin.QueryTrace(tr))
 	}
 	hits := s.idx.Search(q, opts...)
 	out := make([]Match, len(hits))

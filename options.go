@@ -2,6 +2,7 @@ package passjoin
 
 import (
 	"fmt"
+	"log/slog"
 
 	"passjoin/internal/core"
 	"passjoin/internal/engine"
@@ -101,6 +102,7 @@ type config struct {
 	compactThreshold int
 	walSync          bool
 	engine           string
+	logger           *slog.Logger
 }
 
 // Option customizes a join or matcher.
@@ -221,6 +223,23 @@ func WithCompactThreshold(n int) Option {
 			return fmt.Errorf("passjoin: invalid compaction threshold %d (use -1 to disable automatic compaction)", n)
 		}
 		c.compactThreshold = n
+		return nil
+	}
+}
+
+// WithLogger attaches a structured logger to NewDynamicSearcher and
+// OpenDynamicSearcher. The dynamic tiers log their write-path events
+// through it — compaction start/finish with durations and sizes,
+// background-compaction failures, WAL torn-tail truncations at startup —
+// each annotated with its shard number. Without it those events are
+// discarded (the counters on Stats still record them). Ignored by the
+// static entry points, which have no background activity to report.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *config) error {
+		if l == nil {
+			return fmt.Errorf("passjoin: nil logger")
+		}
+		c.logger = l
 		return nil
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"iter"
 
 	"passjoin/internal/core"
+	"passjoin/internal/obs"
 )
 
 // Index is the read contract shared by all three searchers — Searcher,
@@ -52,6 +53,7 @@ type queryConfig struct {
 	topk   int  // > 0: return only the k nearest
 	limit  int  // > 0: stop collecting after this many matches
 	empty  bool // QueryTopK/QueryLimit with a non-positive argument
+	trace  *obs.QueryTrace
 }
 
 // QueryOption customizes one Search or SearchSeq call. Options compose:
@@ -97,6 +99,17 @@ func QueryLimit(n int) QueryOption {
 	}
 }
 
+// QueryTrace records this query's per-phase timing breakdown into t (see
+// Trace). The trace is additive — Reset between queries to measure one at
+// a time — and must not be shared with a concurrent Search call.
+func QueryTrace(t *Trace) QueryOption {
+	return func(qc *queryConfig) {
+		if t != nil {
+			qc.trace = &t.inner
+		}
+	}
+}
+
 // resolveQuery folds opts into a queryConfig and validates the threshold
 // against the index's build threshold.
 func resolveQuery(indexTau int, opts []QueryOption) queryConfig {
@@ -117,7 +130,7 @@ func resolveQuery(indexTau int, opts []QueryOption) queryConfig {
 
 // coreOpts translates the per-query parameters for the engine.
 func (qc queryConfig) coreOpts() core.QueryOpts {
-	return core.QueryOpts{Tau: qc.tau, Limit: qc.limit}
+	return core.QueryOpts{Tau: qc.tau, Limit: qc.limit, Trace: qc.trace}
 }
 
 // finish applies ranking/ordering to a fully merged match set: top-k when

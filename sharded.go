@@ -8,6 +8,7 @@ import (
 
 	"passjoin/internal/core"
 	"passjoin/internal/metrics"
+	"passjoin/internal/obs"
 )
 
 // ShardedSearcher answers approximate string search queries like Searcher,
@@ -193,7 +194,7 @@ func (ss *ShardedSearcher) SearchSeq(q string, opts ...QueryOption) iter.Seq[Mat
 				// Deferred like Searcher.SearchSeq: a panicking consumer
 				// must not strand the snapshot outside the pool.
 				defer sh.release(m)
-				m.QuerySeq(q, core.QueryOpts{Tau: qc.tau, Limit: remaining}, func(h core.Hit) bool {
+				m.QuerySeq(q, core.QueryOpts{Tau: qc.tau, Limit: remaining, Trace: qc.trace}, func(h core.Hit) bool {
 					delivered++
 					if !yield(Match{ID: int(h.ID)*n + si, Dist: int(h.Dist)}) {
 						stopped = true
@@ -229,15 +230,29 @@ func (ss *ShardedSearcher) search(q string, qc queryConfig) []Match {
 			parts[s] = sh.query(q, n, s, o)
 		}
 	} else {
+		// A trace is single-goroutine state: give each shard its own and
+		// merge after the fan-out joins (traced queries only — the extra
+		// allocation never touches the untraced path).
+		var traces []obs.QueryTrace
+		if o.Trace != nil {
+			traces = make([]obs.QueryTrace, n)
+		}
 		var wg sync.WaitGroup
 		for s, sh := range ss.shards {
 			wg.Add(1)
 			go func(s int, sh *searchShard) {
 				defer wg.Done()
-				parts[s] = sh.query(q, n, s, o)
+				so := o
+				if traces != nil {
+					so.Trace = &traces[s]
+				}
+				parts[s] = sh.query(q, n, s, so)
 			}(s, sh)
 		}
 		wg.Wait()
+		for i := range traces {
+			o.Trace.Merge(&traces[i])
+		}
 	}
 	total := 0
 	for _, p := range parts {

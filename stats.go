@@ -49,13 +49,14 @@ type Stats struct {
 	FrozenEntries int64
 	// Dynamic-index counters, populated by DynamicSearcher.Stats and zero
 	// everywhere else: documents in the mutable deltas (live or
-	// tombstoned), deletes pending compaction, completed compactions, and
-	// the write-ahead-log footprint.
-	DeltaDocs   int64
-	Tombstones  int64
-	Compactions int64
-	WALBytes    int64
-	WALRecords  int64
+	// tombstoned), deletes pending compaction, completed and failed
+	// compactions, and the write-ahead-log footprint.
+	DeltaDocs     int64
+	Tombstones    int64
+	Compactions   int64
+	CompactErrors int64
+	WALBytes      int64
+	WALRecords    int64
 
 	inner *metrics.Stats
 }
@@ -98,6 +99,7 @@ func (s *Stats) fill() {
 	s.DeltaDocs = in.DeltaStrings
 	s.Tombstones = in.Tombstones
 	s.Compactions = in.Compactions
+	s.CompactErrors = in.CompactErrors
 	s.WALBytes = in.WALBytes
 	s.WALRecords = in.WALRecords
 }
@@ -145,6 +147,7 @@ func (s *Stats) String() string {
 		DeltaStrings:       s.DeltaDocs,
 		Tombstones:         s.Tombstones,
 		Compactions:        s.Compactions,
+		CompactErrors:      s.CompactErrors,
 		WALBytes:           s.WALBytes,
 		WALRecords:         s.WALRecords,
 	}).String()
