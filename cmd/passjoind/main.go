@@ -57,6 +57,7 @@ import (
 
 	"passjoin"
 	"passjoin/internal/dataset"
+	"passjoin/internal/repl"
 	"passjoin/internal/server"
 )
 
@@ -77,6 +78,10 @@ func main() {
 	topK := flag.Int("topk", 0, "default k for /v1/topk (0 = default)")
 	joinMaxBytes := flag.Int64("join-max-bytes", 0, "max body size for the bulk-join endpoints (0 = default 32 MiB)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; off by default)")
+	replListen := flag.String("repl-listen", "",
+		"serve the replication stream for read replicas on this side address (e.g. :7879; requires a mutable mode)")
+	replicateFrom := flag.String("replicate-from", "",
+		"run as a read replica of the primary at this replication URL (e.g. http://primary:7879); requires -wal DIR for the local replica state, ignores -tau (learned from the primary)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "log level floor: debug, info, warn, error")
 	slowQuery := flag.Duration("slow-query", 0,
@@ -90,39 +95,88 @@ func main() {
 	}
 
 	mutable := *wal != "" || *dynamic
+	follower := *replicateFrom != ""
 	switch {
-	case mutable && *snapshot != "":
+	case follower && (*dynamic || *snapshot != "" || *save != "" || flag.NArg() > 0):
+		fmt.Fprintln(os.Stderr, "passjoind: -replicate-from runs a read replica and cannot be combined with -dynamic, -snapshot, -save or a corpus file")
+		os.Exit(2)
+	case follower && *replListen != "":
+		fmt.Fprintln(os.Stderr, "passjoind: -replicate-from and -repl-listen are mutually exclusive (chained replication is not supported)")
+		os.Exit(2)
+	case follower && *wal == "":
+		fmt.Fprintln(os.Stderr, "passjoind: -replicate-from requires -wal DIR for the replica's local state")
+		os.Exit(2)
+	case !follower && *replListen != "" && !mutable:
+		fmt.Fprintln(os.Stderr, "passjoind: -repl-listen requires a mutable mode (-wal or -dynamic); a static index has no mutations to replicate")
+		os.Exit(2)
+	case !follower && mutable && *snapshot != "":
 		fmt.Fprintln(os.Stderr, "passjoind: -snapshot cannot be combined with -wal/-dynamic")
 		os.Exit(2)
-	case mutable && *save != "":
+	case !follower && mutable && *save != "":
 		// Rejecting this after the build would already have seeded the
 		// -wal directory as a side effect of a failing command.
 		fmt.Fprintln(os.Stderr, "passjoind: -save applies to the static mode only (mutable modes persist via -wal)")
 		os.Exit(2)
-	case mutable && flag.NArg() > 1:
+	case !follower && mutable && flag.NArg() > 1:
 		fmt.Fprintln(os.Stderr, "usage: passjoind -wal DIR [flags] [corpus.txt]")
 		os.Exit(2)
-	case !mutable && (*snapshot == "") == (flag.NArg() != 1):
+	case !follower && !mutable && (*snapshot == "") == (flag.NArg() != 1):
 		fmt.Fprintln(os.Stderr, "usage: passjoind [flags] corpus.txt  (or passjoind -snapshot idx.pjix, or passjoind -wal DIR)")
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var st passjoin.Stats
 	var idx server.Index
 	var dyn *passjoin.DynamicSearcher
+	var fol *repl.Follower
+	var replLog *repl.Log
+	var replStatus func() repl.Status
 	start := time.Now()
-	if mutable {
-		dyn, err = buildDynamicIndex(flag.Arg(0), *wal, *tau, *shards, *sel, *ver, *compactEvery, *walSync, logger)
+	switch {
+	case follower:
+		compactEveryVal := *compactEvery
+		if compactEveryVal < 0 {
+			compactEveryVal = -1
+		}
+		fol, err = repl.NewFollower(repl.FollowerConfig{
+			PrimaryURL:       *replicateFrom,
+			Dir:              *wal,
+			Shards:           *shards,
+			CompactThreshold: compactEveryVal,
+			WALSync:          *walSync,
+			Logger:           logger,
+		})
+		if err == nil {
+			logger.Info("replica syncing", "primary", *replicateFrom, "dir", *wal)
+			err = fol.Start(ctx)
+		}
+		idx = fol
+		replStatus = fol.Status
+	case mutable:
+		var extra []passjoin.Option
+		if *replListen != "" {
+			// The log must exist before the searcher so the mutation hook
+			// observes every write from the first one on.
+			replLog = repl.NewLog(0)
+			extra = append(extra, passjoin.WithMutationHook(replLog.Publish))
+		}
+		dyn, err = buildDynamicIndex(flag.Arg(0), *wal, *tau, *shards, *sel, *ver, *compactEvery, *walSync, logger, extra...)
 		idx = dyn
-	} else {
+	default:
 		idx, err = buildIndex(flag.Arg(0), *snapshot, *tau, *shards, *sel, *ver, &st)
 	}
 	if err != nil {
 		fatal(logger, err)
 	}
 	mode := "static"
-	if dyn != nil {
+	switch {
+	case fol != nil:
+		mode = "read replica of " + *replicateFrom + " (" + *wal + ")"
+	case dyn != nil:
 		mode = "volatile dynamic"
 		if *wal != "" {
 			mode = "durable dynamic (" + *wal + ")"
@@ -134,6 +188,16 @@ func main() {
 		"shards", idx.NumShards(),
 		"mode", mode,
 		"build_time", time.Since(start).Round(time.Millisecond))
+
+	if replLog != nil {
+		source := repl.NewSource(replLog, dyn, logger)
+		replStatus = source.Status
+		ln, err := startRepl(*replListen, source.Handler())
+		if err != nil {
+			fatal(logger, err)
+		}
+		logger.Info("replication stream listening", "url", fmt.Sprintf("http://%s/repl/stream", ln.Addr()))
+	}
 
 	if *save != "" {
 		if err := writeSnapshot(idx.(*passjoin.ShardedSearcher), *save); err != nil {
@@ -150,18 +214,21 @@ func main() {
 		logger.Info("pprof listening", "url", fmt.Sprintf("http://%s/debug/pprof/", ln.Addr()))
 	}
 
-	srv := &http.Server{
-		Addr: *addr,
-		Handler: server.New(idx, &st, server.Config{
-			MaxBatch:     *maxBatch,
-			DefaultTopK:  *topK,
-			MaxJoinBytes: *joinMaxBytes,
-			Logger:       logger,
-			SlowQuery:    *slowQuery,
-		}),
+	scfg := server.Config{
+		MaxBatch:     *maxBatch,
+		DefaultTopK:  *topK,
+		MaxJoinBytes: *joinMaxBytes,
+		Logger:       logger,
+		SlowQuery:    *slowQuery,
+		ReplStatus:   replStatus,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if fol != nil {
+		scfg.Replica = *replicateFrom
+	}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New(idx, &st, scfg),
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("serving", "addr", *addr)
@@ -178,6 +245,11 @@ func main() {
 		}
 		if dyn != nil {
 			if err := dyn.Close(); err != nil {
+				fatal(logger, err)
+			}
+		}
+		if fol != nil {
+			if err := fol.Close(); err != nil {
 				fatal(logger, err)
 			}
 		}
@@ -228,13 +300,15 @@ func buildIndex(corpusPath, snapshotPath string, tau, shards int, sel, ver strin
 // buildDynamicIndex opens (or seeds) a mutable index. With walDir set the
 // index is durable: an existing directory is recovered from base
 // snapshots + WAL tails and the corpus file, if given, is ignored with a
-// notice.
-func buildDynamicIndex(corpusPath, walDir string, tau, shards int, sel, ver string, compactThreshold int, walSync bool, logger *slog.Logger) (*passjoin.DynamicSearcher, error) {
+// notice. extra options (the replication mutation hook) are appended
+// last.
+func buildDynamicIndex(corpusPath, walDir string, tau, shards int, sel, ver string, compactThreshold int, walSync bool, logger *slog.Logger, extra ...passjoin.Option) (*passjoin.DynamicSearcher, error) {
 	opts, err := indexOptions(shards, sel, ver, nil)
 	if err != nil {
 		return nil, err
 	}
 	opts = append(opts, passjoin.WithLogger(logger))
+	opts = append(opts, extra...)
 	if compactThreshold < 0 {
 		compactThreshold = -1 // flag help says "negative = manual only"; the library wants exactly -1
 	}

@@ -24,3 +24,16 @@ func startPprof(addr string) (net.Listener, error) {
 	go func() { _ = http.Serve(ln, mux) }()
 	return ln, nil
 }
+
+// startRepl serves the replication stream on its own listener, mirroring
+// the pprof side-listener pattern: the replication plane (follower
+// traffic) never shares a port with the public query API, so it can be
+// firewalled to the cluster's internal network.
+func startRepl(addr string, h http.Handler) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, h) }()
+	return ln, nil
+}

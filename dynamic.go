@@ -145,6 +145,11 @@ func openDynamic(dir string, corpus []string, tau int, opts []Option) (*DynamicS
 			CompactThreshold: cfg.compactThreshold,
 			Fsync:            cfg.walSync,
 		}
+		if hook := cfg.mutHook; hook != nil {
+			tcfg.OnApply = func(op dynamic.Op) {
+				hook(Mutation{Del: op.Del, ID: int(op.ID), Doc: op.Doc})
+			}
+		}
 		if cfg.logger != nil {
 			tcfg.Logger = cfg.logger.With("shard", s)
 		}
@@ -222,6 +227,62 @@ func (ds *DynamicSearcher) Delete(id int) (bool, error) {
 	}
 	gid := int64(id)
 	return ds.tiers[gid%int64(len(ds.tiers))].Delete(gid)
+}
+
+// Mutation is one logical write applied to a DynamicSearcher: an insert
+// of Doc under ID, or (Del set) a delete of ID. It is the unit the
+// mutation hook observes and Apply replays — the change-data-capture and
+// replication currency of the dynamic index.
+type Mutation struct {
+	Del bool
+	ID  int
+	Doc string
+}
+
+// Apply applies one replicated mutation idempotently by document id: an
+// insert whose id the searcher already knows is skipped, as is a delete
+// of an absent or already-deleted id — the same per-id discipline WAL
+// replay uses, so re-applying any already-applied prefix of a replication
+// stream is harmless. The id allocator is advanced past m.ID, so a
+// follower promoted to accept writes never re-issues a replicated id.
+// Applied mutations are WAL-logged (when durable), observed by the
+// mutation hook, and trigger background compaction exactly like local
+// writes. It reports whether the mutation changed the index.
+func (ds *DynamicSearcher) Apply(m Mutation) (bool, error) {
+	if m.ID < 0 {
+		return false, fmt.Errorf("passjoin: negative document id %d", m.ID)
+	}
+	gid := int64(m.ID)
+	applied, err := ds.tiers[gid%int64(len(ds.tiers))].Apply(dynamic.Op{Del: m.Del, ID: gid, Doc: m.Doc})
+	if err != nil {
+		return false, err
+	}
+	for {
+		cur := ds.nextID.Load()
+		if gid+1 <= cur || ds.nextID.CompareAndSwap(cur, gid+1) {
+			break
+		}
+	}
+	return applied, nil
+}
+
+// All iterates over every live document as (id, doc) pairs, shard by
+// shard, in no particular order. Each shard's contents are captured
+// atomically under its read lock before being yielded, so the consumer
+// may mutate the index from inside the loop; concurrent writes that race
+// the capture of a later shard may or may not appear. The replication
+// source uses it to cut follower bootstrap snapshots.
+func (ds *DynamicSearcher) All() iter.Seq2[int, string] {
+	return func(yield func(int, string) bool) {
+		for _, t := range ds.tiers {
+			gids, docs := t.Live()
+			for i, gid := range gids {
+				if !yield(int(gid), docs[i]) {
+					return
+				}
+			}
+		}
+	}
 }
 
 // Search returns every live document within the threshold of q — the

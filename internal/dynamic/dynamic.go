@@ -82,6 +82,16 @@ type Config struct {
 	// finish (with durations and sizes), background-compaction failures,
 	// and WAL torn-tail truncations at startup. Nil discards them.
 	Logger *slog.Logger
+	// OnApply, when non-nil, observes every mutation the tier applies —
+	// Insert, Delete, and replicated operations accepted by Apply — and is
+	// invoked with the tier write lock held, after the operation is
+	// durable (WAL-appended) and visible in memory. Holding the lock makes
+	// the observation order identical to the apply order for any given
+	// gid, which is what a replication log needs to stay convergent; the
+	// callback must therefore be fast and must not call back into the
+	// tier. Replay at Open and Bootstrap seeding do not fire it (that
+	// state is delivered to followers by snapshot, not by log).
+	OnApply func(Op)
 }
 
 // Hit is one query result: a global document id and the exact edit
@@ -360,26 +370,105 @@ func (t *Tier) Insert(gid int64, doc string) error {
 		t.maxID = gid
 	}
 	t.live++
+	if t.cfg.OnApply != nil {
+		t.cfg.OnApply(Op{ID: gid, Doc: doc})
+	}
 	trigger := t.cfg.CompactThreshold > 0 && t.delta.Len() >= t.cfg.CompactThreshold
 	t.mu.Unlock()
 
-	if trigger && t.compacting.CompareAndSwap(false, true) {
-		t.compactWG.Add(1)
-		go func() {
-			defer t.compactWG.Done()
-			defer t.compacting.Store(false)
-			if err := t.Compact(); err != nil {
-				// Loudly: the tier keeps serving and the WAL keeps growing,
-				// but a silent lastErr is how disks fill up. The counter
-				// feeds passjoin_compact_errors_total.
-				t.logger.Error("background compaction failed", "error", err)
-				t.mu.Lock()
-				t.lastErr = err
-				t.mu.Unlock()
-			}
-		}()
-	}
+	t.maybeCompact(trigger)
 	return nil
+}
+
+// maybeCompact kicks off one background compaction when trigger is set and
+// none is already running; failures are logged and retained for Err.
+func (t *Tier) maybeCompact(trigger bool) {
+	if !trigger || !t.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	t.compactWG.Add(1)
+	go func() {
+		defer t.compactWG.Done()
+		defer t.compacting.Store(false)
+		if err := t.Compact(); err != nil {
+			// Loudly: the tier keeps serving and the WAL keeps growing,
+			// but a silent lastErr is how disks fill up. The counter
+			// feeds passjoin_compact_errors_total.
+			t.logger.Error("background compaction failed", "error", err)
+			t.mu.Lock()
+			t.lastErr = err
+			t.mu.Unlock()
+		}
+	}()
+}
+
+// Apply applies one replicated operation idempotently by gid: an add whose
+// id is already known is skipped, as is a delete of an absent or
+// already-dead id (the same discipline WAL replay uses, so re-applying any
+// already-applied prefix of a replication stream is harmless). Applied
+// operations are WAL-logged, observed by OnApply, and trigger background
+// compaction exactly like local mutations. It reports whether the
+// operation changed the tier.
+func (t *Tier) Apply(op Op) (bool, error) {
+	if op.Watermark {
+		return false, fmt.Errorf("dynamic: watermark ops are not replicable")
+	}
+	if op.ID < 0 {
+		return false, fmt.Errorf("dynamic: negative document id %d", op.ID)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return false, errors.New("dynamic: tier is closed")
+	}
+	if op.Del {
+		if _, ok := t.byID[op.ID]; !ok {
+			t.mu.Unlock()
+			return false, nil
+		}
+		if _, dead := t.tombs[op.ID]; dead {
+			t.mu.Unlock()
+			return false, nil
+		}
+		if t.wal != nil {
+			if err := t.wal.Append(op); err != nil {
+				t.mu.Unlock()
+				return false, err
+			}
+		}
+		t.tombs[op.ID] = struct{}{}
+		t.live--
+		if t.cfg.OnApply != nil {
+			t.cfg.OnApply(op)
+		}
+		t.mu.Unlock()
+		return true, nil
+	}
+	if _, dup := t.byID[op.ID]; dup {
+		t.mu.Unlock()
+		return false, nil
+	}
+	if t.wal != nil {
+		if err := t.wal.Append(op); err != nil {
+			t.mu.Unlock()
+			return false, err
+		}
+	}
+	t.delta.InsertSilent(op.Doc)
+	t.deltaIDs = append(t.deltaIDs, op.ID)
+	t.byID[op.ID] = entry{pos: int32(len(t.deltaIDs) - 1), delta: true}
+	if op.ID > t.maxID {
+		t.maxID = op.ID
+	}
+	t.live++
+	if t.cfg.OnApply != nil {
+		t.cfg.OnApply(op)
+	}
+	trigger := t.cfg.CompactThreshold > 0 && t.delta.Len() >= t.cfg.CompactThreshold
+	t.mu.Unlock()
+
+	t.maybeCompact(trigger)
+	return true, nil
 }
 
 // Delete tombstones gid. It reports whether the document existed and was
@@ -403,7 +492,36 @@ func (t *Tier) Delete(gid int64) (bool, error) {
 	}
 	t.tombs[gid] = struct{}{}
 	t.live--
+	if t.cfg.OnApply != nil {
+		t.cfg.OnApply(Op{Del: true, ID: gid})
+	}
 	return true, nil
+}
+
+// Live returns every live document with its global id, captured
+// atomically under the tier's read lock (base rows first, then the delta,
+// tombstones filtered; ids are unique but not sorted). The replication
+// source uses it to cut follower bootstrap snapshots.
+func (t *Tier) Live() ([]int64, []string) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	gids := make([]int64, 0, t.live)
+	docs := make([]string, 0, t.live)
+	if b := t.base.Load(); b != nil {
+		for i, gid := range b.ids {
+			if _, dead := t.tombs[gid]; !dead {
+				gids = append(gids, gid)
+				docs = append(docs, b.m.String(i))
+			}
+		}
+	}
+	for i, gid := range t.deltaIDs {
+		if _, dead := t.tombs[gid]; !dead {
+			gids = append(gids, gid)
+			docs = append(docs, t.delta.String(i))
+		}
+	}
+	return gids, docs
 }
 
 // Search returns every live document within tau of q as (global id, exact
@@ -566,6 +684,26 @@ func (t *Tier) compact() error {
 			survivors = append(survivors, cutDocs[i])
 			gids = append(gids, gid)
 		}
+	}
+	// Local inserts arrive in allocation order, but replicated applies
+	// (Apply) can land gids below the base range or out of order within
+	// the delta — e.g. a follower whose shard count differs from its
+	// primary interleaves several primary shards into one tier. The
+	// frozen base and the PJDT snapshot both require ascending gids, so
+	// restore the invariant here rather than constraining every caller.
+	if !sort.SliceIsSorted(gids, func(a, b int) bool { return gids[a] < gids[b] }) {
+		ord := make([]int, len(gids))
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.Slice(ord, func(a, b int) bool { return gids[ord[a]] < gids[ord[b]] })
+		sortedGids := make([]int64, len(gids))
+		sortedDocs := make([]string, len(survivors))
+		for i, j := range ord {
+			sortedGids[i] = gids[j]
+			sortedDocs[i] = survivors[j]
+		}
+		gids, survivors = sortedGids, sortedDocs
 	}
 	m, err := t.buildSealed(survivors)
 	if err != nil {

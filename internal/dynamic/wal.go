@@ -176,6 +176,12 @@ func decodeOp(payload []byte) (Op, error) {
 	}
 }
 
+// EncodeRecord renders op in the WAL's length-prefixed, CRC-checked
+// record form — exactly the bytes Append writes. The replication layer
+// reuses it as its wire encoding for shipped operations, so a replication
+// frame's op section is parseable by ReplayWAL.
+func EncodeRecord(op Op) []byte { return encodeOp(op) }
+
 func encodeOp(op Op) []byte {
 	var gidBuf [binary.MaxVarintLen64]byte
 	g := binary.PutUvarint(gidBuf[:], uint64(op.ID))

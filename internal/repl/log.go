@@ -1,0 +1,107 @@
+package repl
+
+import (
+	"sync"
+
+	"passjoin"
+	"passjoin/internal/dynamic"
+)
+
+// DefaultLogRetention is the number of operations a Log retains when
+// NewLog is given no explicit capacity. A follower whose watermark falls
+// further behind than this bootstraps from a snapshot instead of the log.
+const DefaultLogRetention = 1 << 16
+
+// Log is the primary's in-memory replication log: a dense sequence of
+// mutations, numbered from 1, of which a bounded suffix is retained.
+//
+// Publish is designed to be the searcher's mutation hook: it runs under
+// the owning shard's write lock, so for any given document id the log
+// order equals the apply order — the property that keeps followers
+// convergent. The log itself is process-local and volatile; continuity
+// across primary restarts is re-established by the epoch handshake (a
+// restarted primary has a new epoch, and followers full-resync from a
+// snapshot).
+type Log struct {
+	mu     sync.Mutex
+	notify chan struct{}
+	start  uint64 // sequence number of ops[0]; sequences are 1-based
+	ops    []dynamic.Op
+	cap    int
+}
+
+// NewLog creates a log retaining at most capacity operations (<= 0
+// selects DefaultLogRetention).
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultLogRetention
+	}
+	return &Log{notify: make(chan struct{}), start: 1, cap: capacity}
+}
+
+// Publish appends one mutation, assigns it the next sequence number, and
+// wakes every waiting stream. It is the intended passjoin.WithMutationHook
+// callback and is safe for concurrent use.
+func (l *Log) Publish(m passjoin.Mutation) {
+	l.mu.Lock()
+	l.ops = append(l.ops, dynamic.Op{Del: m.Del, ID: int64(m.ID), Doc: m.Doc})
+	// Trim lazily in blocks: letting the slice grow to 2× capacity and
+	// then copying the newest half down keeps the amortized cost O(1)
+	// per append instead of O(cap).
+	if len(l.ops) > 2*l.cap {
+		drop := len(l.ops) - l.cap
+		l.start += uint64(drop)
+		l.ops = append([]dynamic.Op(nil), l.ops[drop:]...)
+	}
+	ch := l.notify
+	l.notify = make(chan struct{})
+	l.mu.Unlock()
+	close(ch)
+}
+
+// Next returns the sequence number the next published mutation will get;
+// Next-1 is the primary's current watermark.
+func (l *Log) Next() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.start + uint64(len(l.ops))
+}
+
+// Start returns the oldest retained sequence number. A follower needing
+// anything older must bootstrap from a snapshot.
+func (l *Log) Start() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.start
+}
+
+// ReadFrom returns up to max operations starting at sequence seq, along
+// with seq itself for convenience. ok is false when seq has fallen out of
+// retention (the caller must fall back to a snapshot); an empty result
+// with ok set means the caller is fully caught up and should Wait.
+func (l *Log) ReadFrom(seq uint64, max int) (ops []dynamic.Op, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < l.start {
+		return nil, false
+	}
+	end := l.start + uint64(len(l.ops))
+	if seq >= end {
+		return nil, true
+	}
+	i := int(seq - l.start)
+	n := len(l.ops) - i
+	if n > max {
+		n = max
+	}
+	return append([]dynamic.Op(nil), l.ops[i:i+n]...), true
+}
+
+// Wait returns a channel closed at the next Publish. Capture it before
+// calling ReadFrom to avoid missing a wakeup for an op published between
+// the read and the wait.
+func (l *Log) Wait() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.notify
+}

@@ -1,0 +1,67 @@
+package repl
+
+import (
+	"testing"
+
+	"passjoin"
+)
+
+func TestLogSequencingAndRetention(t *testing.T) {
+	l := NewLog(4)
+	if got := l.Next(); got != 1 {
+		t.Fatalf("empty log Next = %d, want 1", got)
+	}
+	for i := 0; i < 10; i++ {
+		l.Publish(passjoin.Mutation{ID: i, Doc: "d"})
+	}
+	if got := l.Next(); got != 11 {
+		t.Fatalf("Next = %d, want 11", got)
+	}
+	// Capacity 4 with lazy 2× trimming: at most 8 retained, at least 4.
+	start := l.Start()
+	if start < 3 || start > 7 {
+		t.Fatalf("Start = %d, want within [3,7] for cap 4 after 10 publishes", start)
+	}
+
+	// Reading from before retention reports the snapshot-needed signal.
+	if _, ok := l.ReadFrom(start-1, 100); ok {
+		t.Fatal("ReadFrom before retention: ok = true, want false")
+	}
+	// Reading the retained suffix returns dense, correctly numbered ops.
+	ops, ok := l.ReadFrom(start, 100)
+	if !ok {
+		t.Fatal("ReadFrom(start): ok = false")
+	}
+	if want := int(11 - start); len(ops) != want {
+		t.Fatalf("ReadFrom(start): %d ops, want %d", len(ops), want)
+	}
+	for i, op := range ops {
+		if op.ID != int64(start)+int64(i)-1 { // mutation i carried ID i, seq i+1
+			t.Fatalf("ops[%d].ID = %d, want %d", i, op.ID, int64(start)+int64(i)-1)
+		}
+	}
+	// Reading at the head is caught-up, not an error.
+	if ops, ok := l.ReadFrom(11, 100); !ok || len(ops) != 0 {
+		t.Fatalf("ReadFrom(head) = (%d ops, %v), want (0, true)", len(ops), ok)
+	}
+	// max bounds the batch.
+	if ops, _ := l.ReadFrom(start, 2); len(ops) != 2 {
+		t.Fatalf("ReadFrom with max 2: %d ops", len(ops))
+	}
+}
+
+func TestLogWaitWakesOnPublish(t *testing.T) {
+	l := NewLog(0)
+	ch := l.Wait()
+	select {
+	case <-ch:
+		t.Fatal("Wait channel closed before any publish")
+	default:
+	}
+	l.Publish(passjoin.Mutation{ID: 0, Doc: "x"})
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Wait channel not closed by Publish")
+	}
+}

@@ -1,0 +1,234 @@
+// Package repl replicates a primary passjoin.DynamicSearcher to read-only
+// followers by shipping its write-ahead-log records over a streaming HTTP
+// endpoint — the first beyond-one-process capability of the engine and the
+// foundation for a cluster tier.
+//
+// The moving parts:
+//
+//   - Log (log.go) is the primary's in-memory replication log: every
+//     mutation the index applies is published into it (via the searcher's
+//     mutation hook, under the owning shard's lock, so per-document order
+//     is exact) and assigned a dense sequence number. The log retains a
+//     bounded suffix; followers further behind bootstrap from a snapshot.
+//   - Source (source.go) serves GET /repl/stream: a hello frame, an
+//     optional corpus snapshot, then the live op stream with heartbeats.
+//     A follower presents its (epoch, applied-seq) watermark; the primary
+//     resumes mid-log when it can and falls back to a snapshot when it
+//     cannot (unknown epoch — e.g. a restarted primary — or a watermark
+//     that has fallen out of log retention).
+//   - Follower (follower.go) tails the stream into its own durable
+//     DynamicSearcher, applying every op idempotently by document id,
+//     persisting its watermark, and re-syncing from scratch — loudly,
+//     never silently divergent — whenever the stream cannot prove
+//     continuity.
+//
+// The wire format is length-prefixed, CRC-checked frames; the op payloads
+// inside them are verbatim WAL records (internal/dynamic's codec), so the
+// stream is parsed by the same ReplayWAL routine that crash recovery
+// uses. See docs/REPLICATION.md for the full protocol and failure matrix.
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"passjoin/internal/dynamic"
+)
+
+// Frame layout:
+//
+//	uint32-LE payload length | uint32-LE crc32-IEEE of payload | payload
+//
+// payload[0] is the frame type; the rest is type-specific. The envelope
+// is deliberately the same shape as a WAL record, and the op-carrying
+// frames embed whole WAL records, so every byte of state that crosses the
+// wire is covered by at least one CRC.
+const (
+	// frameHello opens every stream: uvarint protocol version, uvarint
+	// epoch, uvarint tau, uvarint next sequence number, and one byte
+	// telling the follower whether a snapshot follows.
+	frameHello = 1
+	// frameSnapBegin starts a corpus snapshot: uvarint snapshot sequence
+	// number (the stream resumes at seq+1 after the snapshot).
+	frameSnapBegin = 2
+	// frameSnapChunk carries a batch of snapshot documents as verbatim
+	// WAL add records (op byte, uvarint gid, doc bytes — each wrapped in
+	// its own length+CRC header).
+	frameSnapChunk = 3
+	// frameSnapEnd closes the snapshot: uvarint total document count,
+	// checked against the chunks actually received.
+	frameSnapEnd = 4
+	// frameOps carries live operations: uvarint first sequence number,
+	// uvarint count, then count verbatim WAL records with consecutive
+	// sequence numbers.
+	frameOps = 5
+	// frameHeartbeat keeps an idle stream alive and the follower's lag
+	// estimate fresh: uvarint next sequence number on the primary.
+	frameHeartbeat = 6
+
+	// protocolVersion is bumped on any incompatible frame change; the
+	// follower refuses a hello it does not speak.
+	protocolVersion = 1
+
+	// maxFramePayload bounds one frame so a corrupted length prefix cannot
+	// force an enormous allocation (matches the WAL's record bound).
+	maxFramePayload = 1 << 26 // 64 MiB
+
+	// snapChunkDocs and snapChunkBytes bound one snapshot chunk: a chunk
+	// closes at whichever limit it hits first, so frames stay small enough
+	// to checksum and retransmit cheaply.
+	snapChunkDocs  = 512
+	snapChunkBytes = 1 << 20
+)
+
+// ErrProtocol marks a stream the follower must not keep consuming: a torn
+// or checksum-mismatched frame, an implausible length, a malformed
+// payload, or a sequence gap. The only safe reaction is to drop the
+// connection and reconnect from the last durable watermark — applying
+// anything after a framing error could install garbage.
+var ErrProtocol = errors.New("repl: protocol violation")
+
+// writeFrame writes one frame to w.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	buf := make([]byte, 8+1+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(1+len(payload)))
+	body := buf[8:]
+	body[0] = typ
+	copy(body[1:], payload)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(body))
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame, verifying length bounds and the checksum. It
+// returns io.EOF only on a clean boundary (no bytes of a next frame);
+// anything torn or corrupt is an ErrProtocol.
+func readFrame(br *bufio.Reader) (typ byte, payload []byte, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: torn frame header: %v", ErrProtocol, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if n == 0 || n > maxFramePayload {
+		return 0, nil, fmt.Errorf("%w: implausible frame length %d", ErrProtocol, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return 0, nil, fmt.Errorf("%w: torn frame payload: %v", ErrProtocol, err)
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, nil, fmt.Errorf("%w: frame checksum mismatch", ErrProtocol)
+	}
+	return body[0], body[1:], nil
+}
+
+// hello is the decoded form of a frameHello payload.
+type hello struct {
+	Proto uint64
+	Epoch uint64
+	Tau   uint64
+	Next  uint64
+	Snap  bool
+}
+
+func encodeHello(h hello) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, h.Proto)
+	buf = binary.AppendUvarint(buf, h.Epoch)
+	buf = binary.AppendUvarint(buf, h.Tau)
+	buf = binary.AppendUvarint(buf, h.Next)
+	if h.Snap {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+func decodeHello(payload []byte) (hello, error) {
+	var h hello
+	rest := payload
+	for _, dst := range []*uint64{&h.Proto, &h.Epoch, &h.Tau, &h.Next} {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return hello{}, fmt.Errorf("%w: short hello", ErrProtocol)
+		}
+		*dst = v
+		rest = rest[n:]
+	}
+	if len(rest) != 1 || rest[0] > 1 {
+		return hello{}, fmt.Errorf("%w: malformed hello trailer", ErrProtocol)
+	}
+	h.Snap = rest[0] == 1
+	return h, nil
+}
+
+// encodeOps renders an ops frame payload: firstSeq, count, then each op
+// as a verbatim WAL record.
+func encodeOps(firstSeq uint64, ops []dynamic.Op) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, firstSeq)
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	for _, op := range ops {
+		buf = append(buf, dynamic.EncodeRecord(op)...)
+	}
+	return buf
+}
+
+// decodeOps parses an ops frame payload. The embedded records must parse
+// cleanly (each carries its own CRC), consume the payload exactly, and
+// match the declared count.
+func decodeOps(payload []byte) (firstSeq uint64, ops []dynamic.Op, err error) {
+	first, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: short ops frame", ErrProtocol)
+	}
+	payload = payload[n:]
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: short ops frame", ErrProtocol)
+	}
+	payload = payload[n:]
+	ops, good, rerr := dynamic.ReplayWAL(bytes.NewReader(payload))
+	if rerr != nil || good != int64(len(payload)) {
+		return 0, nil, fmt.Errorf("%w: malformed op records: %v", ErrProtocol, rerr)
+	}
+	if uint64(len(ops)) != count {
+		return 0, nil, fmt.Errorf("%w: ops frame declares %d records, carries %d", ErrProtocol, count, len(ops))
+	}
+	return first, ops, nil
+}
+
+// decodeSnapChunk parses a snapshot chunk into its documents. Only add
+// records are legal in a snapshot.
+func decodeSnapChunk(payload []byte) ([]dynamic.Op, error) {
+	ops, good, err := dynamic.ReplayWAL(bytes.NewReader(payload))
+	if err != nil || good != int64(len(payload)) {
+		return nil, fmt.Errorf("%w: malformed snapshot records: %v", ErrProtocol, err)
+	}
+	for _, op := range ops {
+		if op.Del || op.Watermark {
+			return nil, fmt.Errorf("%w: non-add record in snapshot", ErrProtocol)
+		}
+	}
+	return ops, nil
+}
+
+// uvarintPayload decodes a payload that is one bare uvarint (snapBegin,
+// snapEnd, heartbeat).
+func uvarintPayload(payload []byte) (uint64, error) {
+	v, n := binary.Uvarint(payload)
+	if n <= 0 || n != len(payload) {
+		return 0, fmt.Errorf("%w: malformed uvarint payload", ErrProtocol)
+	}
+	return v, nil
+}

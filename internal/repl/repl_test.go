@@ -1,0 +1,366 @@
+package repl
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"passjoin"
+)
+
+// testPrimary bundles a mutable searcher, its replication log and a
+// Source serving the stream over httptest — one writable end of a link.
+type testPrimary struct {
+	t   *testing.T
+	ds  *passjoin.DynamicSearcher
+	log *Log
+	src *Source
+	srv *httptest.Server
+}
+
+func newTestPrimary(t *testing.T, tau, shards, logCap int) *testPrimary {
+	t.Helper()
+	log := NewLog(logCap)
+	ds, err := passjoin.NewDynamicSearcher(nil, tau,
+		passjoin.WithShards(shards), passjoin.WithMutationHook(log.Publish))
+	if err != nil {
+		t.Fatalf("NewDynamicSearcher: %v", err)
+	}
+	src := NewSource(log, ds, nil)
+	src.SetHeartbeat(20 * time.Millisecond)
+	srv := httptest.NewServer(src.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ds.Close()
+	})
+	return &testPrimary{t: t, ds: ds, log: log, src: src, srv: srv}
+}
+
+func (p *testPrimary) insert(doc string) int {
+	p.t.Helper()
+	id, err := p.ds.Insert(doc)
+	if err != nil {
+		p.t.Fatalf("Insert(%q): %v", doc, err)
+	}
+	return id
+}
+
+func (p *testPrimary) delete(id int) {
+	p.t.Helper()
+	if _, err := p.ds.Delete(id); err != nil {
+		p.t.Fatalf("Delete(%d): %v", id, err)
+	}
+}
+
+// watermark is the primary's applied offset: the acceptance-criteria
+// reference the follower's applied offset must reach.
+func (p *testPrimary) watermark() uint64 { return p.log.Next() - 1 }
+
+// followerConfig builds an aggressive-timing config for tests; url may be
+// the primary directly or a fault proxy in front of it.
+func followerConfig(url, dir string) FollowerConfig {
+	return FollowerConfig{
+		PrimaryURL:   url,
+		Dir:          dir,
+		Shards:       2,
+		ReconnectMin: 5 * time.Millisecond,
+		ReconnectMax: 50 * time.Millisecond,
+		StallTimeout: 5 * time.Second,
+		StateEvery:   16,
+	}
+}
+
+func startFollower(t *testing.T, cfg FollowerConfig) *Follower {
+	t.Helper()
+	f, err := NewFollower(cfg)
+	if err != nil {
+		t.Fatalf("NewFollower: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := f.Start(ctx); err != nil {
+		t.Fatalf("follower Start: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func corpusOf(all iter.Seq2[int, string]) map[int]string {
+	m := map[int]string{}
+	for id, doc := range all {
+		m[id] = doc
+	}
+	return m
+}
+
+// waitConverged blocks until the follower's applied offset reaches the
+// primary's watermark (taken after the last write) and the live corpora
+// are identical — or fails loudly with the divergence.
+func waitConverged(t *testing.T, f *Follower, p *testPrimary, timeout time.Duration) {
+	t.Helper()
+	target := p.watermark()
+	deadline := time.Now().Add(timeout)
+	for {
+		if f.Status().AppliedOffset >= target {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stalled at offset %d, primary watermark %d (status %+v)",
+				f.Status().AppliedOffset, target, f.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	want := corpusOf(p.ds.All())
+	got := corpusOf(f.All())
+	if len(got) != len(want) {
+		t.Fatalf("diverged: follower holds %d docs, primary %d", len(got), len(want))
+	}
+	for id, doc := range want {
+		if g, ok := got[id]; !ok || g != doc {
+			t.Fatalf("diverged at id %d: follower %q (present=%v), primary %q", id, g, ok, doc)
+		}
+	}
+}
+
+func TestFollowerBootstrapAndTail(t *testing.T) {
+	p := newTestPrimary(t, 2, 2, 0)
+	for i := 0; i < 100; i++ {
+		p.insert(fmt.Sprintf("bootstrap-%03d", i))
+	}
+	p.delete(10)
+	p.delete(11)
+
+	f := startFollower(t, followerConfig(p.srv.URL, t.TempDir()))
+	waitConverged(t, f, p, 10*time.Second)
+
+	st := f.Status()
+	if st.Role != "follower" || !st.Connected || st.Resyncs != 1 {
+		t.Fatalf("status after bootstrap = %+v", st)
+	}
+	if st.AppliedOffset != p.watermark() {
+		t.Fatalf("applied offset %d != primary watermark %d", st.AppliedOffset, p.watermark())
+	}
+	if st.Lag != 0 {
+		t.Fatalf("lag = %d after convergence", st.Lag)
+	}
+
+	// Live tail: post-bootstrap writes stream through without a resync.
+	for i := 0; i < 50; i++ {
+		p.insert(fmt.Sprintf("live-%03d", i))
+	}
+	p.delete(0)
+	waitConverged(t, f, p, 10*time.Second)
+	if got := f.Status().Resyncs; got != 1 {
+		t.Fatalf("live tail triggered %d resyncs, want 1", got)
+	}
+
+	// Read path: the follower answers searches identically.
+	for _, q := range []string{"bootstrap-010", "live-007", "missing"} {
+		want := p.ds.Search(q)
+		got := f.Search(q)
+		if len(got) != len(want) {
+			t.Fatalf("Search(%q): follower %d matches, primary %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Search(%q)[%d]: follower %+v, primary %+v", q, i, got[i], want[i])
+			}
+		}
+	}
+	if doc, ok := f.Get(42); !ok || doc != "bootstrap-042" {
+		t.Fatalf("Get(42) = (%q, %v)", doc, ok)
+	}
+	if _, ok := f.Get(0); ok {
+		t.Fatal("Get(0) found a deleted document")
+	}
+}
+
+func TestFollowerResumesAfterPrimaryDisconnect(t *testing.T) {
+	p := newTestPrimary(t, 1, 2, 0)
+	for i := 0; i < 30; i++ {
+		p.insert(fmt.Sprintf("doc-%02d", i))
+	}
+	f := startFollower(t, followerConfig(p.srv.URL, t.TempDir()))
+	waitConverged(t, f, p, 10*time.Second)
+
+	// Kill every live stream; the primary stays up, so the follower must
+	// resume mid-log (same epoch) without a second snapshot.
+	p.srv.CloseClientConnections()
+	for i := 0; i < 30; i++ {
+		p.insert(fmt.Sprintf("after-%02d", i))
+	}
+	waitConverged(t, f, p, 10*time.Second)
+	st := f.Status()
+	if st.Resyncs != 1 {
+		t.Fatalf("reconnect escalated to %d resyncs, want 1 (resume should have worked)", st.Resyncs)
+	}
+	if st.Reconnects == 0 {
+		t.Fatal("reconnects = 0 after a forced disconnect")
+	}
+}
+
+func TestFollowerResyncsWhenBehindRetention(t *testing.T) {
+	p := newTestPrimary(t, 1, 2, 8) // tiny log: anything old falls out fast
+	for i := 0; i < 20; i++ {
+		p.insert(fmt.Sprintf("doc-%02d", i))
+	}
+	f := startFollower(t, followerConfig(p.srv.URL, t.TempDir()))
+	waitConverged(t, f, p, 10*time.Second)
+
+	// Push the follower far out of retention while it is disconnected.
+	p.srv.CloseClientConnections()
+	// Burst enough writes to wrap the tiny log several times before the
+	// follower can reconnect and catch up.
+	for i := 0; i < 500; i++ {
+		p.insert(fmt.Sprintf("burst-%03d", i))
+	}
+	waitConverged(t, f, p, 15*time.Second)
+	// Whether the follower resumed or resynced depends on reconnect
+	// timing; either way it must not silently diverge — waitConverged
+	// asserted exact equality. Log lost prefixes must never be skipped:
+	if f.Status().AppliedOffset != p.watermark() {
+		t.Fatalf("offset %d != watermark %d", f.Status().AppliedOffset, p.watermark())
+	}
+}
+
+func TestFollowerRestartResumesFromDurableState(t *testing.T) {
+	p := newTestPrimary(t, 1, 2, 0)
+	dir := t.TempDir()
+	for i := 0; i < 40; i++ {
+		p.insert(fmt.Sprintf("doc-%02d", i))
+	}
+	f := startFollower(t, followerConfig(p.srv.URL, dir))
+	waitConverged(t, f, p, 10*time.Second)
+	if err := f.Close(); err != nil {
+		t.Fatalf("follower Close: %v", err)
+	}
+
+	// More writes land while the follower is down.
+	for i := 0; i < 25; i++ {
+		p.insert(fmt.Sprintf("while-down-%02d", i))
+	}
+
+	f2 := startFollower(t, followerConfig(p.srv.URL, dir))
+	waitConverged(t, f2, p, 10*time.Second)
+	// The restart recovered from disk and resumed mid-log: the primary
+	// kept its epoch, so no snapshot was needed.
+	if got := f2.Status().Resyncs; got != 0 {
+		t.Fatalf("restarted follower resynced %d times, want 0 (durable resume)", got)
+	}
+}
+
+func TestFollowerResyncsAfterPrimaryRestart(t *testing.T) {
+	p1 := newTestPrimary(t, 1, 2, 0)
+	dir := t.TempDir()
+	for i := 0; i < 20; i++ {
+		p1.insert(fmt.Sprintf("first-life-%02d", i))
+	}
+	f := startFollower(t, followerConfig(p1.srv.URL, dir))
+	waitConverged(t, f, p1, 10*time.Second)
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	p1.srv.Close()
+
+	// A "restarted" primary: new process state, new epoch, different
+	// corpus. The follower's watermark means nothing here and must be
+	// discarded via a full resync.
+	p2 := newTestPrimary(t, 1, 2, 0)
+	for i := 0; i < 35; i++ {
+		p2.insert(fmt.Sprintf("second-life-%02d", i))
+	}
+	f2 := startFollower(t, followerConfig(p2.srv.URL, dir))
+	waitConverged(t, f2, p2, 10*time.Second)
+	if got := f2.Status().Resyncs; got != 1 {
+		t.Fatalf("epoch change triggered %d resyncs, want exactly 1", got)
+	}
+}
+
+// TestEquivalenceRandomInterleavings is the e2e property test: random
+// insert/delete/compaction interleavings on the primary, across shard
+// counts, must leave the follower's Search results exactly equal to the
+// primary's — including across a follower restart mid-stream.
+func TestEquivalenceRandomInterleavings(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(7 + shards)))
+			p := newTestPrimary(t, 2, shards, 0)
+			dir := t.TempDir()
+
+			var live []int
+			mutate := func(n int) {
+				for i := 0; i < n; i++ {
+					switch {
+					case len(live) > 0 && rng.Intn(4) == 0:
+						k := rng.Intn(len(live))
+						p.delete(live[k])
+						live = append(live[:k], live[k+1:]...)
+					default:
+						id := p.insert(randomWord(rng))
+						live = append(live, id)
+					}
+					if rng.Intn(64) == 0 {
+						if err := p.ds.Compact(); err != nil {
+							t.Fatalf("Compact: %v", err)
+						}
+					}
+				}
+			}
+
+			mutate(150) // pre-follower state → exercised via snapshot
+			cfg := followerConfig(p.srv.URL, dir)
+			cfg.Shards = shards + 1 // follower may shard differently
+			f := startFollower(t, cfg)
+			waitConverged(t, f, p, 15*time.Second)
+
+			mutate(150) // live tail
+			waitConverged(t, f, p, 15*time.Second)
+
+			// Restart the follower mid-stream and keep mutating while it
+			// is down.
+			if err := f.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			mutate(100)
+			f = startFollower(t, cfg)
+			mutate(100) // and while it is catching up
+			waitConverged(t, f, p, 15*time.Second)
+
+			// Search equivalence across thresholds, ranked and streamed.
+			for i := 0; i < 25; i++ {
+				q := randomWord(rng)
+				for tau := 0; tau <= 2; tau++ {
+					want := p.ds.Search(q, passjoin.QueryTau(tau))
+					got := f.Search(q, passjoin.QueryTau(tau))
+					if len(want) != len(got) {
+						t.Fatalf("Search(%q, tau=%d): follower %d matches, primary %d",
+							q, tau, len(got), len(want))
+					}
+					for j := range want {
+						if want[j] != got[j] {
+							t.Fatalf("Search(%q, tau=%d)[%d]: follower %+v, primary %+v",
+								q, tau, j, got[j], want[j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// randomWord generates short words from a tight alphabet so random
+// queries actually hit within tau.
+func randomWord(rng *rand.Rand) string {
+	n := 3 + rng.Intn(6)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(4))
+	}
+	return string(b)
+}

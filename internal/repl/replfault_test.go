@@ -1,0 +1,252 @@
+package repl
+
+// Fault-injection harness: a raw TCP proxy sits between follower and
+// primary and mauls the primary→follower byte stream — abrupt kills
+// after an escalating byte budget (dropped and truncated frames), bit
+// flips (corruption), duplicated windows, and millisecond stalls. The
+// replication contract under test: a follower either converges to the
+// exact primary corpus or fails loudly (dropped connection, ErrProtocol)
+// and retries — it never serves silently divergent state.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type faultProxy struct {
+	ln     net.Listener
+	target string // host:port of the real primary
+	healed atomic.Bool
+	conns  atomic.Int64
+	kills  atomic.Int64
+	flips  atomic.Int64
+	dups   atomic.Int64
+	wg     sync.WaitGroup
+}
+
+func newFaultProxy(t *testing.T, targetURL string) *faultProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("proxy listen: %v", err)
+	}
+	fp := &faultProxy{ln: ln, target: strings.TrimPrefix(targetURL, "http://")}
+	fp.wg.Add(1)
+	go fp.accept()
+	t.Cleanup(func() {
+		ln.Close()
+		fp.wg.Wait()
+	})
+	return fp
+}
+
+func (fp *faultProxy) URL() string { return "http://" + fp.ln.Addr().String() }
+
+// heal turns the proxy into a transparent pipe so the test can demand
+// final convergence.
+func (fp *faultProxy) heal() { fp.healed.Store(true) }
+
+func (fp *faultProxy) accept() {
+	defer fp.wg.Done()
+	for {
+		c, err := fp.ln.Accept()
+		if err != nil {
+			return
+		}
+		n := fp.conns.Add(1)
+		fp.wg.Add(1)
+		go fp.serve(c, n)
+	}
+}
+
+func (fp *faultProxy) serve(client net.Conn, n int64) {
+	defer fp.wg.Done()
+	defer client.Close()
+	server, err := net.Dial("tcp", fp.target)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+
+	done := make(chan struct{}, 2)
+	// Requests pass through untouched; the faults target the stream.
+	go func() {
+		io.Copy(server, client)
+		done <- struct{}{}
+	}()
+	go func() {
+		fp.maul(client, server, n)
+		done <- struct{}{}
+	}()
+	// Either direction ending tears down both: an abrupt, unannounced kill,
+	// exactly like a crashed middlebox.
+	<-done
+}
+
+// maul copies server→client, injecting faults until the connection's
+// byte budget is spent, then kills the link mid-frame. The budget
+// doubles per connection so the follower always gets through eventually
+// even before heal() — escalation, not starvation.
+func (fp *faultProxy) maul(dst, src net.Conn, n int64) {
+	rng := rand.New(rand.NewSource(0xFA017 + n))
+	shift := n
+	if shift > 16 {
+		shift = 16
+	}
+	budget := 512 << shift
+	buf := make([]byte, 1024)
+	sent := 0
+	for {
+		m, err := src.Read(buf)
+		if m > 0 {
+			chunk := buf[:m]
+			if !fp.healed.Load() {
+				if sent+m > budget {
+					if keep := budget - sent; keep > 0 {
+						dst.Write(chunk[:keep]) // torn frame on the wire
+					}
+					fp.kills.Add(1)
+					return
+				}
+				switch rng.Intn(20) {
+				case 0: // corrupt one byte; CRC or HTTP framing must catch it
+					chunk[rng.Intn(m)] ^= 1 << rng.Intn(8)
+					fp.flips.Add(1)
+				case 1: // duplicate this window
+					if _, werr := dst.Write(chunk); werr != nil {
+						return
+					}
+					fp.dups.Add(1)
+				case 2: // stall briefly
+					time.Sleep(time.Duration(1+rng.Intn(4)) * time.Millisecond)
+				}
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+			sent += m
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func TestFaultInjectionConvergence(t *testing.T) {
+	p := newTestPrimary(t, 1, 2, 0)
+	live := make([]int, 0, 1024)
+	for i := 0; i < 200; i++ {
+		live = append(live, p.insert(fmt.Sprintf("seed-%03d", i)))
+	}
+
+	fp := newFaultProxy(t, p.srv.URL)
+	cfg := followerConfig(fp.URL(), t.TempDir())
+	cfg.StallTimeout = 2 * time.Second
+	f := startFollower(t, cfg)
+
+	// Keep mutating while the link is being mauled, so ops frames (not
+	// just the snapshot) cross the faulty wire.
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if len(live) > 0 && rng.Intn(4) == 0 {
+				k := rng.Intn(len(live))
+				if _, err := p.ds.Delete(live[k]); err != nil {
+					errc <- err
+					return
+				}
+				live = append(live[:k], live[k+1:]...)
+			} else {
+				id, err := p.ds.Insert(fmt.Sprintf("storm-%04d", i))
+				if err != nil {
+					errc <- err
+					return
+				}
+				live = append(live, id)
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	time.Sleep(1500 * time.Millisecond) // let the faults fly
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatalf("primary mutation during fault storm: %v", err)
+	default:
+	}
+
+	fp.heal()
+	waitConverged(t, f, p, 30*time.Second)
+
+	st := f.Status()
+	if st.Lag != 0 {
+		t.Fatalf("lag = %d after convergence", st.Lag)
+	}
+	if fp.kills.Load() == 0 {
+		t.Fatal("fault proxy never killed a connection — the harness exercised nothing")
+	}
+	if st.Reconnects == 0 {
+		t.Fatal("follower never reconnected despite proxy kills")
+	}
+	t.Logf("fault storm: conns=%d kills=%d flips=%d dups=%d follower resyncs=%d reconnects=%d",
+		fp.conns.Load(), fp.kills.Load(), fp.flips.Load(), fp.dups.Load(),
+		st.Resyncs, st.Reconnects)
+
+	// Spot-check the read path on top of the corpus equality waitConverged
+	// already proved.
+	for _, q := range []string{"seed-050", "storm-0100", "absent"} {
+		want, got := p.ds.Search(q), f.Search(q)
+		if len(want) != len(got) {
+			t.Fatalf("Search(%q): follower %d matches, primary %d", q, len(got), len(want))
+		}
+	}
+}
+
+// TestFaultInjectionSnapshotInterrupted pins the nastiest corner: the
+// proxy kills connections so early that several snapshot installs die
+// mid-stream after the old state was already wiped. The follower must
+// keep demanding fresh snapshots (never resume onto destroyed state) and
+// still converge once the budget escalates past the snapshot size.
+func TestFaultInjectionSnapshotInterrupted(t *testing.T) {
+	p := newTestPrimary(t, 1, 2, 0)
+	for i := 0; i < 400; i++ {
+		p.insert(fmt.Sprintf("corpus-%04d-%s", i, strings.Repeat("x", 20)))
+	}
+
+	fp := newFaultProxy(t, p.srv.URL)
+	cfg := followerConfig(fp.URL(), t.TempDir())
+	cfg.StallTimeout = 2 * time.Second
+	f := startFollower(t, cfg) // blocks until some snapshot finally lands
+	fp.heal()
+	waitConverged(t, f, p, 30*time.Second)
+
+	st := f.Status()
+	if st.Resyncs != 1 {
+		t.Fatalf("resyncs = %d, want 1 (failed installs must not count)", st.Resyncs)
+	}
+	if st.Reconnects == 0 {
+		t.Fatal("snapshot this large should not have survived the first tiny budgets")
+	}
+	if fp.kills.Load() == 0 {
+		t.Fatal("proxy never killed a connection")
+	}
+}

@@ -1,0 +1,135 @@
+package repl
+
+// Crash-recovery regressions: what a follower does with the durable
+// state a dead process left behind. The dangerous window is between
+// wiping the old index for a snapshot install and committing the new
+// watermark — a kill -9 there must be detected (the repl.installing
+// marker) and resolved by a full resync, never by trusting the
+// half-installed directory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRecoverAfterCrashDuringInstall(t *testing.T) {
+	p := newTestPrimary(t, 1, 2, 0)
+	for i := 0; i < 60; i++ {
+		p.insert(fmt.Sprintf("doc-%02d", i))
+	}
+	dir := t.TempDir()
+	f := startFollower(t, followerConfig(p.srv.URL, dir))
+	waitConverged(t, f, p, 10*time.Second)
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate kill -9 mid-install: the marker is on disk next to whatever
+	// mix of old and new files the crash left. The content beside it is
+	// valid here — the point is that the marker alone must trigger a wipe.
+	marker := filepath.Join(dir, installingFile)
+	if err := os.WriteFile(marker, []byte("snapshot install in progress\n"), 0o644); err != nil {
+		t.Fatalf("planting marker: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		p.insert(fmt.Sprintf("while-down-%02d", i))
+	}
+
+	f2 := startFollower(t, followerConfig(p.srv.URL, dir))
+	waitConverged(t, f2, p, 10*time.Second)
+	if got := f2.Status().Resyncs; got != 1 {
+		t.Fatalf("marker recovery resynced %d times, want exactly 1 (full bootstrap)", got)
+	}
+	if _, err := os.Stat(marker); !os.IsNotExist(err) {
+		t.Fatalf("marker still present after successful install (stat err = %v)", err)
+	}
+}
+
+func TestRecoverFromStaleWatermarkReappliesIdempotently(t *testing.T) {
+	p := newTestPrimary(t, 1, 2, 0)
+	live := make([]int, 0, 64)
+	for i := 0; i < 50; i++ {
+		live = append(live, p.insert(fmt.Sprintf("doc-%02d", i)))
+	}
+	p.delete(live[3])
+	p.delete(live[7])
+	dir := t.TempDir()
+	f := startFollower(t, followerConfig(p.srv.URL, dir))
+	waitConverged(t, f, p, 10*time.Second)
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The watermark is allowed to lag the searcher's own WAL (StateEvery
+	// batches writes). Model the worst legal crash: roll it back so the
+	// primary resends a suffix the follower has already applied.
+	path := filepath.Join(dir, stateFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading watermark: %v", err)
+	}
+	var st replState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("decoding watermark: %v", err)
+	}
+	if st.Applied < 20 {
+		t.Fatalf("watermark %d too small for a meaningful rollback", st.Applied)
+	}
+	st.Applied -= 15
+	rolled, _ := json.Marshal(st)
+	if err := os.WriteFile(path, rolled, 0o644); err != nil {
+		t.Fatalf("rolling back watermark: %v", err)
+	}
+
+	f2 := startFollower(t, followerConfig(p.srv.URL, dir))
+	waitConverged(t, f2, p, 10*time.Second)
+	// Re-applying the suffix must be invisible: same corpus, no resync.
+	if got := f2.Status().Resyncs; got != 0 {
+		t.Fatalf("stale-watermark restart resynced %d times, want 0 (idempotent re-apply)", got)
+	}
+}
+
+func TestRecoverRefusesDirWithoutWatermark(t *testing.T) {
+	// A directory holding a dynamic index but no repl.json is most likely a
+	// primary's data dir; adopting (and on resync, wiping) it would be
+	// unrecoverable. The follower must refuse to start.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte(`{"version":1,"tau":2,"shards":2}`), 0o644); err != nil {
+		t.Fatalf("seeding meta.json: %v", err)
+	}
+	f, err := NewFollower(FollowerConfig{PrimaryURL: "http://127.0.0.1:1", Dir: dir})
+	if err != nil {
+		t.Fatalf("NewFollower: %v", err)
+	}
+	if err := f.recover(); err == nil {
+		t.Fatal("recover adopted a directory with an index but no watermark")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "meta.json")); err != nil {
+		t.Fatalf("refusal must not touch the directory: %v", err)
+	}
+}
+
+func TestRecoverWipesCorruptWatermark(t *testing.T) {
+	p := newTestPrimary(t, 1, 2, 0)
+	for i := 0; i < 30; i++ {
+		p.insert(fmt.Sprintf("doc-%02d", i))
+	}
+	dir := t.TempDir()
+	f := startFollower(t, followerConfig(p.srv.URL, dir))
+	waitConverged(t, f, p, 10*time.Second)
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, stateFile), []byte("{torn"), 0o644); err != nil {
+		t.Fatalf("corrupting watermark: %v", err)
+	}
+	f2 := startFollower(t, followerConfig(p.srv.URL, dir))
+	waitConverged(t, f2, p, 10*time.Second)
+	if got := f2.Status().Resyncs; got != 1 {
+		t.Fatalf("corrupt watermark resynced %d times, want exactly 1", got)
+	}
+}

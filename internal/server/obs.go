@@ -105,6 +105,38 @@ func newServerObs(s *Server) *serverObs {
 	counterStat("passjoin_compact_errors_total", "Failed compactions across shards.",
 		func(st passjoin.Stats) int64 { return st.CompactErrors })
 
+	// Replication link health, sampled from the Source/Follower status on
+	// whichever end this server is. Registered only when replication is
+	// configured so a standalone server's exposition stays unchanged.
+	if rs := s.cfg.ReplStatus; rs != nil {
+		r.GaugeFunc("passjoin_repl_applied_offset",
+			"Replication watermark: highest sequence applied (follower) or published (primary).",
+			func() float64 { return float64(rs().AppliedOffset) })
+		r.GaugeFunc("passjoin_repl_primary_offset",
+			"The follower's freshest view of the primary's watermark (0 on the primary itself).",
+			func() float64 { return float64(rs().PrimaryOffset) })
+		r.GaugeFunc("passjoin_repl_lag_ops",
+			"Operations the follower has yet to apply to match the primary.",
+			func() float64 { return float64(rs().Lag) })
+		r.GaugeFunc("passjoin_repl_connected",
+			"1 when the replication stream is live (any stream, on the primary).",
+			func() float64 {
+				if rs().Connected {
+					return 1
+				}
+				return 0
+			})
+		r.GaugeFunc("passjoin_repl_followers",
+			"Replication streams the primary is currently serving.",
+			func() float64 { return float64(rs().Followers) })
+		r.CounterFunc("passjoin_repl_resyncs_total",
+			"Full snapshot bootstraps the follower has performed.",
+			func() float64 { return float64(rs().Resyncs) })
+		r.CounterFunc("passjoin_repl_reconnects_total",
+			"Replication stream re-establishments after the initial connect.",
+			func() float64 { return float64(rs().Reconnects) })
+	}
+
 	r.GaugeFunc("passjoin_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 	r.Collect("passjoin_build_info",
@@ -118,10 +150,11 @@ func newServerObs(s *Server) *serverObs {
 }
 
 // indexStats returns the freshest index-shape counters: live per-shard
-// stats for a mutable index, the build-time snapshot otherwise.
+// stats for a dynamic index — mutable or a read-only replication
+// follower — the build-time snapshot otherwise.
 func (s *Server) indexStats() passjoin.Stats {
-	if s.dyn != nil {
-		return s.dyn.Stats()
+	if sp, ok := s.idx.(StatsProvider); ok {
+		return sp.Stats()
 	}
 	return s.stats
 }

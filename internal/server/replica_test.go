@@ -1,0 +1,166 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"passjoin/internal/repl"
+)
+
+// newReplicaTestServer wires a server the way passjoind does in replica
+// mode: reads served from the index, writes rejected, replication
+// figures sampled from a status callback.
+func newReplicaTestServer(t testing.TB, status func() repl.Status) string {
+	t.Helper()
+	corpus := testCorpus(t, 120)
+	_, ts := newTestServer(t, corpus, 2, 2, Config{
+		Replica:    "http://primary.example:7401",
+		ReplStatus: status,
+	})
+	return ts.URL
+}
+
+func fakeStatus() repl.Status {
+	return repl.Status{
+		Role:          "follower",
+		Primary:       "http://primary.example:7401",
+		Epoch:         42,
+		AppliedOffset: 990,
+		PrimaryOffset: 1000,
+		Lag:           10,
+		Connected:     true,
+		Resyncs:       1,
+		Reconnects:    3,
+	}
+}
+
+func TestReplicaRejectsWrites(t *testing.T) {
+	url := newReplicaTestServer(t, fakeStatus)
+
+	post, err := http.Post(url+"/v1/docs", "application/json",
+		bytes.NewReader([]byte(`{"doc":"new-document"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Body.Close()
+	if post.StatusCode != http.StatusConflict {
+		t.Fatalf("POST /v1/docs on a replica: status %d, want 409", post.StatusCode)
+	}
+	if got := post.Header.Get("X-Replication-Primary"); got != "http://primary.example:7401" {
+		t.Fatalf("X-Replication-Primary = %q", got)
+	}
+	var body ReadOnlyResponse
+	if err := json.NewDecoder(post.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding 409 body: %v", err)
+	}
+	if body.Primary != "http://primary.example:7401" {
+		t.Fatalf("409 body names primary %q", body.Primary)
+	}
+	if !strings.Contains(body.Error, "read replica") {
+		t.Fatalf("409 error %q does not explain the rejection", body.Error)
+	}
+
+	del, err := http.NewRequest(http.MethodDelete, url+"/v1/docs/3", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE on a replica: status %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestReplicaServesReads(t *testing.T) {
+	url := newReplicaTestServer(t, fakeStatus)
+
+	var sr SearchResponse
+	if code := getJSON(t, url+"/v1/search?q=anything", &sr); code != http.StatusOK {
+		t.Fatalf("search on a replica: status %d", code)
+	}
+	resp, err := http.Get(url + "/v1/docs/5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/docs/5 on a replica: status %d", resp.StatusCode)
+	}
+
+	var h map[string]any
+	if code := getJSON(t, url+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if h["replica"] != true || h["primary"] != "http://primary.example:7401" {
+		t.Fatalf("healthz on a replica = %v", h)
+	}
+}
+
+func TestReplicaStatsAndMetrics(t *testing.T) {
+	url := newReplicaTestServer(t, fakeStatus)
+
+	var st StatsResponse
+	if code := getJSON(t, url+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if st.Repl == nil {
+		t.Fatal("stats response has no repl section on a replica")
+	}
+	if st.Repl.Role != "follower" || st.Repl.AppliedOffset != 990 || st.Repl.Lag != 10 {
+		t.Fatalf("repl stats = %+v", st.Repl)
+	}
+
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for metric, val := range map[string]string{
+		"passjoin_repl_applied_offset":   "990",
+		"passjoin_repl_primary_offset":   "1000",
+		"passjoin_repl_lag_ops":          "10",
+		"passjoin_repl_connected":        "1",
+		"passjoin_repl_resyncs_total":    "1",
+		"passjoin_repl_reconnects_total": "3",
+	} {
+		found := false
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, metric+" ") || strings.HasPrefix(line, metric+"{") {
+				found = true
+				if !strings.HasSuffix(strings.TrimSpace(line), " "+val) &&
+					!strings.HasSuffix(strings.TrimSpace(line), val) {
+					t.Fatalf("%s = %q, want %s", metric, line, val)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("metric %s missing from /metrics exposition", metric)
+		}
+	}
+}
+
+func TestNonReplicaHasNoReplMetrics(t *testing.T) {
+	corpus := testCorpus(t, 50)
+	_, ts := newTestServer(t, corpus, 2, 2, Config{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(raw), "passjoin_repl_") {
+		t.Fatal("repl metrics exposed without a replication status source")
+	}
+}

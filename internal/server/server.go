@@ -66,6 +66,7 @@ import (
 
 	"passjoin"
 	"passjoin/internal/engine"
+	"passjoin/internal/repl"
 	"passjoin/internal/verify"
 )
 
@@ -93,6 +94,16 @@ type MutableIndex interface {
 	Err() error
 }
 
+// StatsProvider is the live-counter contract a read-only dynamic index
+// (a replication follower) satisfies without being mutable: /v1/stats and
+// the metric exposition prefer it over the static build-time snapshot.
+// MutableIndex embeds the same two methods, so one structural check
+// covers both.
+type StatsProvider interface {
+	Stats() passjoin.Stats
+	Err() error
+}
+
 // Config bounds request handling; zero values select the defaults.
 type Config struct {
 	// MaxBatch caps the number of queries in one /v1/batch request
@@ -117,6 +128,17 @@ type Config struct {
 	// passjoin_slow_queries_total and the phase histograms. Zero disables
 	// tracing except for requests that ask with ?debug=timings.
 	SlowQuery time.Duration
+	// Replica marks the server as a read replica of the named primary
+	// (its client-facing URL, quoted in error payloads). The write routes
+	// are still registered, but answer a structured 409 directing the
+	// client to the primary; GET /v1/docs/{id} keeps working against the
+	// replicated index.
+	Replica string
+	// ReplStatus, when non-nil, is sampled for the replication section of
+	// /v1/stats and the passjoin_repl_* metric family — set it on both
+	// ends of a replication link (Source.Status on the primary,
+	// Follower.Status on a replica).
+	ReplStatus func() repl.Status
 }
 
 const (
@@ -232,6 +254,15 @@ func New(idx Index, indexStats *passjoin.Stats, cfg Config) *Server {
 		handle("POST", "/v1/docs", s.handleInsert)
 		handle("GET", "/v1/docs/{id}", s.handleGetDoc)
 		handle("DELETE", "/v1/docs/{id}", s.handleDeleteDoc)
+		allow["/v1/docs"] = "POST"
+		allow["/v1/docs/{id}"] = "GET, DELETE"
+	} else if s.cfg.Replica != "" {
+		// Read replica: document reads are served from the replicated
+		// index, writes answer a structured 409 naming the primary so
+		// clients can redirect instead of guessing.
+		handle("POST", "/v1/docs", s.handleReadOnly)
+		handle("GET", "/v1/docs/{id}", s.handleGetDoc)
+		handle("DELETE", "/v1/docs/{id}", s.handleReadOnly)
 		allow["/v1/docs"] = "POST"
 		allow["/v1/docs/{id}"] = "GET, DELETE"
 	}
@@ -356,6 +387,9 @@ type StatsResponse struct {
 	WALBytes      int64            `json:"wal_bytes"`
 	WALRecords    int64            `json:"wal_records"`
 	CompactError  string           `json:"compact_error,omitempty"`
+	// Repl is the replication section, present on both ends of a
+	// replication link: role, watermark offsets, lag and link health.
+	Repl *repl.Status `json:"repl,omitempty"`
 	// GoVersion and Revision identify the running build (toolchain
 	// version and VCS commit; "unknown" outside a VCS build).
 	GoVersion string         `json:"go_version"`
@@ -368,13 +402,18 @@ type errorResponse struct {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":  "ok",
 		"strings": s.idx.Len(),
 		"tau":     s.idx.Tau(),
 		"shards":  s.idx.NumShards(),
 		"mutable": s.dyn != nil,
-	})
+	}
+	if s.cfg.Replica != "" {
+		body["replica"] = true
+		body["primary"] = s.cfg.Replica
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // searchRequest is the POST body form of /v1/search. Tau, when present,
@@ -575,12 +614,30 @@ func (s *Server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	doc, ok := s.dyn.Get(id)
+	doc, ok := s.idx.Get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no live document with id %d", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, DocResponse{ID: id, Doc: doc})
+}
+
+// ReadOnlyResponse is the 409 payload a read replica answers on the
+// write routes: the error plus the primary every write must go to.
+type ReadOnlyResponse struct {
+	Error   string `json:"error"`
+	Primary string `json:"primary"`
+}
+
+// handleReadOnly rejects a write on a read replica with a structured 409
+// naming the primary (also echoed in the X-Replication-Primary header for
+// clients that do not parse bodies).
+func (s *Server) handleReadOnly(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("X-Replication-Primary", s.cfg.Replica)
+	writeJSON(w, http.StatusConflict, ReadOnlyResponse{
+		Error:   "this server is a read replica and does not accept writes; send them to the primary",
+		Primary: s.cfg.Replica,
+	})
 }
 
 func (s *Server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
@@ -878,11 +935,16 @@ func (s *Server) joinEngineCounts() map[string]int64 {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ist := s.stats
 	var compactErr string
-	if s.dyn != nil {
-		ist = s.dyn.Stats()
-		if err := s.dyn.Err(); err != nil {
+	if sp, ok := s.idx.(StatsProvider); ok {
+		ist = sp.Stats()
+		if err := sp.Err(); err != nil {
 			compactErr = err.Error()
 		}
+	}
+	var replStatus *repl.Status
+	if s.cfg.ReplStatus != nil {
+		st := s.cfg.ReplStatus()
+		replStatus = &st
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Strings:       s.idx.Len(),
@@ -906,6 +968,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		WALBytes:      ist.WALBytes,
 		WALRecords:    ist.WALRecords,
 		CompactError:  compactErr,
+		Repl:          replStatus,
 		GoVersion:     s.build.goVersion,
 		Revision:      s.build.revision,
 		Index:         ist,

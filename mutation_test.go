@@ -1,0 +1,195 @@
+package passjoin
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestApplyIdempotence pins the per-id discipline replication leans on:
+// re-applying any prefix of a mutation stream must change nothing.
+func TestApplyIdempotence(t *testing.T) {
+	ds, err := NewDynamicSearcher(nil, 1, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	stream := []Mutation{
+		{ID: 0, Doc: "alpha"},
+		{ID: 1, Doc: "beta"},
+		{Del: true, ID: 0},
+		{ID: 2, Doc: "gamma"},
+	}
+	for _, m := range stream {
+		if _, err := ds.Apply(m); err != nil {
+			t.Fatalf("Apply(%+v): %v", m, err)
+		}
+	}
+	// Replay the whole stream: every call must be a no-op.
+	for _, m := range stream {
+		changed, err := ds.Apply(m)
+		if err != nil {
+			t.Fatalf("re-Apply(%+v): %v", m, err)
+		}
+		if changed {
+			t.Fatalf("re-Apply(%+v) changed the index", m)
+		}
+	}
+	if ds.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ds.Len())
+	}
+	// A re-insert of a deleted id is also a no-op (tombstones have memory):
+	// the id was consumed, the document stays dead.
+	if changed, _ := ds.Apply(Mutation{ID: 0, Doc: "alpha"}); changed {
+		t.Fatal("re-inserting a deleted id changed the index")
+	}
+	if _, err := ds.Apply(Mutation{ID: -4, Doc: "x"}); err == nil {
+		t.Fatal("negative id accepted")
+	}
+}
+
+// TestApplyAdvancesAllocator: a follower promoted to take writes must
+// never re-issue an id the primary already assigned.
+func TestApplyAdvancesAllocator(t *testing.T) {
+	ds, err := NewDynamicSearcher(nil, 1, WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if _, err := ds.Apply(Mutation{ID: 41, Doc: "replicated"}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := ds.Insert("local-after-promotion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 42 {
+		t.Fatalf("Insert after Apply(ID:41) allocated %d, want 42", id)
+	}
+}
+
+func TestAllYieldsExactlyLiveDocs(t *testing.T) {
+	ds, err := NewDynamicSearcher(nil, 1, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	want := map[int]string{}
+	for i := 0; i < 50; i++ {
+		doc := fmt.Sprintf("doc-%02d", i)
+		id, err := ds.Insert(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = doc
+	}
+	for id := 0; id < 50; id += 7 {
+		if _, err := ds.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, id)
+	}
+	got := map[int]string{}
+	for id, doc := range ds.All() {
+		if _, dup := got[id]; dup {
+			t.Fatalf("All yielded id %d twice", id)
+		}
+		got[id] = doc
+	}
+	if len(got) != len(want) {
+		t.Fatalf("All yielded %d docs, want %d", len(got), len(want))
+	}
+	for id, doc := range want {
+		if got[id] != doc {
+			t.Fatalf("All[%d] = %q, want %q", id, got[id], doc)
+		}
+	}
+	// Early break must not wedge any shard lock.
+	for range ds.All() {
+		break
+	}
+	if _, err := ds.Insert("post-break"); err != nil {
+		t.Fatalf("Insert after breaking out of All: %v", err)
+	}
+}
+
+// TestMutationHookObservesEveryWrite: the hook is the replication feed —
+// it must see exactly the writes that changed the index, in apply order
+// per id, and nothing during replay.
+func TestMutationHookObservesEveryWrite(t *testing.T) {
+	var mu sync.Mutex
+	var seen []Mutation
+	hook := func(m Mutation) {
+		mu.Lock()
+		seen = append(seen, m)
+		mu.Unlock()
+	}
+	ds, err := NewDynamicSearcher(nil, 1, WithShards(2), WithMutationHook(hook))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	id0, _ := ds.Insert("one")
+	id1, _ := ds.Insert("two")
+	ds.Delete(id0)
+	ds.Apply(Mutation{ID: 9, Doc: "replicated"})
+	ds.Delete(id0)                        // no-op: must not fire
+	ds.Apply(Mutation{ID: 9, Doc: "dup"}) // no-op: must not fire
+
+	want := []Mutation{
+		{ID: id0, Doc: "one"},
+		{ID: id1, Doc: "two"},
+		{Del: true, ID: id0},
+		{ID: 9, Doc: "replicated"},
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != len(want) {
+		t.Fatalf("hook fired %d times, want %d: %+v", len(seen), len(want), seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("hook[%d] = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+}
+
+// TestMutationHookSilentDuringReplay: reopening a durable searcher
+// replays its WAL; the hook must not re-announce history as fresh writes.
+func TestMutationHookSilentDuringReplay(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := OpenDynamicSearcher(dir, nil, 1, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := ds.Insert(fmt.Sprintf("durable-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fired := 0
+	ds2, err := OpenDynamicSearcher(dir, nil, 1, WithShards(2),
+		WithMutationHook(func(Mutation) { fired++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	if fired != 0 {
+		t.Fatalf("hook fired %d times during WAL replay", fired)
+	}
+	if ds2.Len() != 10 {
+		t.Fatalf("replay recovered %d docs, want 10", ds2.Len())
+	}
+	if _, err := ds2.Insert("fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times for one fresh insert", fired)
+	}
+}

@@ -103,6 +103,7 @@ type config struct {
 	walSync          bool
 	engine           string
 	logger           *slog.Logger
+	mutHook          func(Mutation)
 }
 
 // Option customizes a join or matcher.
@@ -240,6 +241,26 @@ func WithLogger(l *slog.Logger) Option {
 			return fmt.Errorf("passjoin: nil logger")
 		}
 		c.logger = l
+		return nil
+	}
+}
+
+// WithMutationHook attaches a change-data-capture callback to
+// NewDynamicSearcher and OpenDynamicSearcher: h observes every mutation
+// the searcher applies — Insert, Delete, and replicated operations
+// accepted by Apply — after it is durable and visible. The hook runs with
+// the owning shard's write lock held, so for any given document id the
+// observation order is exactly the apply order (the property a
+// replication log needs); keep it fast and never call back into the
+// searcher from inside it. Replay during Open and initial corpus seeding
+// do not fire the hook — that state is recovered locally or delivered to
+// followers by snapshot. Ignored by the static entry points.
+func WithMutationHook(h func(Mutation)) Option {
+	return func(c *config) error {
+		if h == nil {
+			return fmt.Errorf("passjoin: nil mutation hook")
+		}
+		c.mutHook = h
 		return nil
 	}
 }

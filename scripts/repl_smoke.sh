@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# End-to-end replication smoke test: build passjoind, start a primary
+# and a read replica as real processes, write through the primary, and
+# require exact convergence, correct 409 behavior, and clean metrics.
+# Used by CI; runnable locally: ./scripts/repl_smoke.sh
+set -euo pipefail
+
+API_PRIMARY=127.0.0.1:17878
+API_REPLICA=127.0.0.1:17879
+REPL=127.0.0.1:17402
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+say() { printf '== %s\n' "$*"; }
+
+wait_for() { # url substring tries
+  local url=$1 want=$2 tries=${3:-100}
+  for _ in $(seq "$tries"); do
+    if curl -fsS "$url" 2>/dev/null | grep -q "$want"; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "timeout waiting for $want at $url" >&2
+  curl -fsS "$url" >&2 || true
+  return 1
+}
+
+say "building passjoind"
+go build -o "$workdir/passjoind" ./cmd/passjoind
+
+say "seeding a 900-document corpus"
+seq -f 'document-%04.0f' 900 > "$workdir/corpus.txt"
+
+say "starting primary (api $API_PRIMARY, repl $REPL)"
+"$workdir/passjoind" -tau 1 -shards 2 -wal "$workdir/primary" \
+  -addr "$API_PRIMARY" -repl-listen "$REPL" "$workdir/corpus.txt" \
+  > "$workdir/primary.log" 2>&1 &
+pids+=($!)
+wait_for "http://$API_PRIMARY/healthz" '"status":"ok"'
+
+say "starting replica (api $API_REPLICA)"
+"$workdir/passjoind" -replicate-from "http://$REPL" \
+  -wal "$workdir/replica" -addr "$API_REPLICA" \
+  > "$workdir/replica.log" 2>&1 &
+replica_pid=$!
+pids+=($replica_pid)
+wait_for "http://$API_REPLICA/healthz" '"replica":true'
+
+say "writing 100 documents through the primary"
+for i in $(seq 901 1000); do
+  curl -fsS -d "{\"doc\":\"document-0$i\"}" "http://$API_PRIMARY/v1/docs" > /dev/null
+done
+
+say "waiting for convergence (1000 docs, lag 0)"
+wait_for "http://$API_REPLICA/healthz" '"strings":1000'
+wait_for "http://$API_REPLICA/v1/stats" '"lag":0'
+
+say "replica serves reads identically"
+for q in document-0042 document-0950 document-9999; do
+  p=$(curl -fsS "http://$API_PRIMARY/v1/search?q=$q")
+  r=$(curl -fsS "http://$API_REPLICA/v1/search?q=$q")
+  if [ "$p" != "$r" ]; then
+    echo "divergence on q=$q:" >&2
+    echo "  primary: $p" >&2
+    echo "  replica: $r" >&2
+    exit 1
+  fi
+done
+
+say "replica rejects writes with 409 naming the primary"
+code=$(curl -s -o "$workdir/409.json" -w '%{http_code}' \
+  -d '{"doc":"rejected"}' "http://$API_REPLICA/v1/docs")
+[ "$code" = 409 ] || { echo "write on replica answered $code, want 409" >&2; exit 1; }
+grep -q "http://$REPL" "$workdir/409.json" || {
+  echo "409 body does not name the primary: $(cat "$workdir/409.json")" >&2; exit 1; }
+
+say "replication metrics agree with the primary watermark"
+metrics=$(curl -fsS "http://$API_REPLICA/metrics")
+echo "$metrics" | grep -q '^passjoin_repl_applied_offset 100$' || {
+  echo "applied_offset metric wrong:" >&2
+  echo "$metrics" | grep '^passjoin_repl' >&2; exit 1; }
+echo "$metrics" | grep -q '^passjoin_repl_lag_ops 0$' || {
+  echo "lag metric wrong:" >&2
+  echo "$metrics" | grep '^passjoin_repl' >&2; exit 1; }
+echo "$metrics" | grep -q '^passjoin_repl_connected 1$' || {
+  echo "connected metric wrong:" >&2
+  echo "$metrics" | grep '^passjoin_repl' >&2; exit 1; }
+
+say "replica survives a restart and resumes without a resync"
+kill "$replica_pid"
+wait "$replica_pid" 2>/dev/null || true
+curl -fsS -d '{"doc":"while-replica-down"}' "http://$API_PRIMARY/v1/docs" > /dev/null
+"$workdir/passjoind" -replicate-from "http://$REPL" \
+  -wal "$workdir/replica" -addr "$API_REPLICA" \
+  >> "$workdir/replica.log" 2>&1 &
+pids+=($!)
+wait_for "http://$API_REPLICA/healthz" '"strings":1001'
+curl -fsS "http://$API_REPLICA/v1/stats" | grep -q '"resyncs":0' || {
+  echo "restarted replica resynced instead of resuming" >&2
+  curl -fsS "http://$API_REPLICA/v1/stats" >&2; exit 1; }
+
+say "OK"
