@@ -8,6 +8,7 @@
 //	passjoind -tau 2 -wal ./data                    restart: snapshot + WAL tail
 //	passjoind -tau 2 -dynamic                       volatile live-update mode
 //	passjoind -tau 2 -pprof localhost:6060 ...      net/http/pprof side listener
+//	passjoind -coordinator -member URL ...          cluster tier over member daemons
 //
 // The corpus file contains one string per line. One index serves every
 // threshold up to its build -tau: the search and batch routes accept a
@@ -56,6 +57,7 @@ import (
 	"time"
 
 	"passjoin"
+	"passjoin/internal/cluster"
 	"passjoin/internal/dataset"
 	"passjoin/internal/repl"
 	"passjoin/internal/server"
@@ -86,6 +88,17 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level floor: debug, info, warn, error")
 	slowQuery := flag.Duration("slow-query", 0,
 		"trace every lookup and log those at least this slow with a per-phase breakdown (0 = off; e.g. 50ms)")
+	coordinator := flag.Bool("coordinator", false,
+		"run as a cluster coordinator: route writes to member daemons by rendezvous hash and scatter-gather reads across them (requires -member or -members)")
+	var memberFlags []string
+	flag.Func("member", "member daemon base URL (repeatable; NAME=URL names the member; coordinator mode)", func(v string) error {
+		memberFlags = append(memberFlags, v)
+		return nil
+	})
+	membersFile := flag.String("members", "",
+		"file with one member URL (or NAME=URL) per line; # comments and blanks ignored; reloaded on SIGHUP (coordinator mode)")
+	memberTimeout := flag.Duration("member-timeout", 0, "per-member request deadline in coordinator mode (0 = default 2s)")
+	memberParallel := flag.Int("member-parallel", 0, "max in-flight member requests per scatter (0 = member count)")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -94,40 +107,47 @@ func main() {
 		os.Exit(2)
 	}
 
-	mutable := *wal != "" || *dynamic
-	follower := *replicateFrom != ""
-	switch {
-	case follower && (*dynamic || *snapshot != "" || *save != "" || flag.NArg() > 0):
-		fmt.Fprintln(os.Stderr, "passjoind: -replicate-from runs a read replica and cannot be combined with -dynamic, -snapshot, -save or a corpus file")
-		os.Exit(2)
-	case follower && *replListen != "":
-		fmt.Fprintln(os.Stderr, "passjoind: -replicate-from and -repl-listen are mutually exclusive (chained replication is not supported)")
-		os.Exit(2)
-	case follower && *wal == "":
-		fmt.Fprintln(os.Stderr, "passjoind: -replicate-from requires -wal DIR for the replica's local state")
-		os.Exit(2)
-	case !follower && *replListen != "" && !mutable:
-		fmt.Fprintln(os.Stderr, "passjoind: -repl-listen requires a mutable mode (-wal or -dynamic); a static index has no mutations to replicate")
-		os.Exit(2)
-	case !follower && mutable && *snapshot != "":
-		fmt.Fprintln(os.Stderr, "passjoind: -snapshot cannot be combined with -wal/-dynamic")
-		os.Exit(2)
-	case !follower && mutable && *save != "":
-		// Rejecting this after the build would already have seeded the
-		// -wal directory as a side effect of a failing command.
-		fmt.Fprintln(os.Stderr, "passjoind: -save applies to the static mode only (mutable modes persist via -wal)")
-		os.Exit(2)
-	case !follower && mutable && flag.NArg() > 1:
-		fmt.Fprintln(os.Stderr, "usage: passjoind -wal DIR [flags] [corpus.txt]")
-		os.Exit(2)
-	case !follower && !mutable && (*snapshot == "") == (flag.NArg() != 1):
-		fmt.Fprintln(os.Stderr, "usage: passjoind [flags] corpus.txt  (or passjoind -snapshot idx.pjix, or passjoind -wal DIR)")
-		flag.Usage()
+	mf := modeFlags{
+		coordinator:   *coordinator,
+		members:       len(memberFlags),
+		membersFile:   *membersFile,
+		wal:           *wal,
+		dynamic:       *dynamic,
+		snapshot:      *snapshot,
+		save:          *save,
+		replListen:    *replListen,
+		replicateFrom: *replicateFrom,
+		corpusArgs:    flag.NArg(),
+	}
+	if msg := flagProblem(mf); msg != "" {
+		fmt.Fprintln(os.Stderr, msg)
+		if strings.HasPrefix(msg, "usage: passjoind [flags]") {
+			flag.Usage()
+		}
 		os.Exit(2)
 	}
+	mutable := *wal != "" || *dynamic
+	follower := *replicateFrom != ""
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *coordinator {
+		err := runCoordinator(ctx, coordinatorConfig{
+			addr:        *addr,
+			members:     memberFlags,
+			membersFile: *membersFile,
+			timeout:     *memberTimeout,
+			parallel:    *memberParallel,
+			maxBatch:    *maxBatch,
+			topK:        *topK,
+			joinMax:     *joinMaxBytes,
+		}, logger)
+		if err != nil {
+			fatal(logger, err)
+		}
+		return
+	}
 
 	var st passjoin.Stats
 	var idx server.Index
@@ -254,6 +274,169 @@ func main() {
 			}
 		}
 		logger.Info("shut down")
+	}
+}
+
+// modeFlags captures the mode-selection flag state so the combination
+// rules can be validated (and tested) in one place.
+type modeFlags struct {
+	coordinator   bool
+	members       int // count of -member flags
+	membersFile   string
+	wal           string
+	dynamic       bool
+	snapshot      string
+	save          string
+	replListen    string
+	replicateFrom string
+	corpusArgs    int
+}
+
+// flagProblem returns the stderr diagnostic for an illegal flag
+// combination, or "" when the flags select exactly one valid mode.
+func flagProblem(f modeFlags) string {
+	mutable := f.wal != "" || f.dynamic
+	follower := f.replicateFrom != ""
+	switch {
+	case f.coordinator && (mutable || follower || f.replListen != "" || f.snapshot != "" || f.save != "" || f.corpusArgs > 0):
+		return "passjoind: -coordinator holds no index of its own and cannot be combined with -wal, -dynamic, -replicate-from, -repl-listen, -snapshot, -save or a corpus file"
+	case f.coordinator && f.members == 0 && f.membersFile == "":
+		return "passjoind: -coordinator requires at least one -member URL or a -members FILE"
+	case !f.coordinator && (f.members > 0 || f.membersFile != ""):
+		return "passjoind: -member/-members apply only to -coordinator mode"
+	case follower && (f.dynamic || f.snapshot != "" || f.save != "" || f.corpusArgs > 0):
+		return "passjoind: -replicate-from runs a read replica and cannot be combined with -dynamic, -snapshot, -save or a corpus file"
+	case follower && f.replListen != "":
+		return "passjoind: -replicate-from and -repl-listen are mutually exclusive (chained replication is not supported)"
+	case follower && f.wal == "":
+		return "passjoind: -replicate-from requires -wal DIR for the replica's local state"
+	case !follower && f.replListen != "" && !mutable:
+		return "passjoind: -repl-listen requires a mutable mode (-wal or -dynamic); a static index has no mutations to replicate"
+	case !follower && mutable && f.snapshot != "":
+		return "passjoind: -snapshot cannot be combined with -wal/-dynamic"
+	case !follower && mutable && f.save != "":
+		// Rejecting this after the build would already have seeded the
+		// -wal directory as a side effect of a failing command.
+		return "passjoind: -save applies to the static mode only (mutable modes persist via -wal)"
+	case !follower && mutable && f.corpusArgs > 1:
+		return "usage: passjoind -wal DIR [flags] [corpus.txt]"
+	case !f.coordinator && !follower && !mutable && (f.snapshot == "") == (f.corpusArgs != 1):
+		return "usage: passjoind [flags] corpus.txt  (or passjoind -snapshot idx.pjix, or passjoind -wal DIR)"
+	}
+	return ""
+}
+
+// coordinatorConfig carries the flag values the coordinator mode needs.
+type coordinatorConfig struct {
+	addr        string
+	members     []string // raw -member specs
+	membersFile string
+	timeout     time.Duration
+	parallel    int
+	maxBatch    int
+	topK        int
+	joinMax     int64
+}
+
+// loadMembers resolves the full member list: explicit -member specs
+// first, then the -members file (one URL or NAME=URL per line, blanks
+// and # comments skipped).
+func loadMembers(cfg coordinatorConfig) ([]cluster.Member, error) {
+	specs := append([]string{}, cfg.members...)
+	if cfg.membersFile != "" {
+		data, err := os.ReadFile(cfg.membersFile)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			specs = append(specs, line)
+		}
+	}
+	ms, err := cluster.ParseMembers(specs)
+	if err != nil {
+		return nil, err
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("no members configured (is %s empty?)", cfg.membersFile)
+	}
+	return ms, nil
+}
+
+// runCoordinator serves the cluster tier: health-probed members, routed
+// writes, scatter-gather reads. Blocks until ctx is cancelled.
+func runCoordinator(ctx context.Context, cfg coordinatorConfig, logger *slog.Logger) error {
+	ms, err := loadMembers(cfg)
+	if err != nil {
+		return err
+	}
+	cl, err := cluster.New(ms, cluster.Config{
+		Timeout:  cfg.timeout,
+		Parallel: cfg.parallel,
+		Logger:   logger,
+	})
+	if err != nil {
+		return err
+	}
+	cl.Start(ctx)
+	co := server.NewCoordinator(cl, server.Config{
+		MaxBatch:     cfg.maxBatch,
+		DefaultTopK:  cfg.topK,
+		MaxJoinBytes: cfg.joinMax,
+		Logger:       logger,
+	})
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name
+	}
+	logger.Info("coordinator ready", "members", strings.Join(names, ","))
+
+	if cfg.membersFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			defer signal.Stop(hup)
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-hup:
+					ms, err := loadMembers(cfg)
+					if err == nil {
+						err = cl.SetMembers(ms)
+					}
+					if err != nil {
+						logger.Error("member reload failed; keeping the current set", "error", err)
+						continue
+					}
+					// Ownership moved; the id floor must be re-learned from
+					// the new member set before the next routed write.
+					co.InvalidateIDFloor()
+					logger.Info("members reloaded", "file", cfg.membersFile, "members", len(ms))
+				}
+			}
+		}()
+	}
+
+	srv := &http.Server{Addr: cfg.addr, Handler: co}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("serving", "addr", cfg.addr, "mode", "coordinator")
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		logger.Info("shutdown signal received")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		logger.Info("shut down")
+		return nil
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"passjoin"
@@ -147,5 +148,96 @@ func TestBuildDynamicIndexBadFlags(t *testing.T) {
 	}
 	if _, err := buildDynamicIndex("/nonexistent/corpus.txt", "", 1, 1, "multimatch", "shareprefix", 0, false, discardLogger()); err == nil {
 		t.Error("missing corpus accepted")
+	}
+}
+
+// TestFlagProblem pins the mode-combination rules: every mutually
+// exclusive pair is rejected with a pointed diagnostic, every valid
+// mode passes.
+func TestFlagProblem(t *testing.T) {
+	cases := []struct {
+		name string
+		f    modeFlags
+		want string // substring of the diagnostic; "" = accepted
+	}{
+		{"static", modeFlags{corpusArgs: 1}, ""},
+		{"snapshot", modeFlags{snapshot: "idx.pjix"}, ""},
+		{"dynamic", modeFlags{dynamic: true}, ""},
+		{"wal", modeFlags{wal: "data"}, ""},
+		{"wal seed corpus", modeFlags{wal: "data", corpusArgs: 1}, ""},
+		{"primary", modeFlags{wal: "data", replListen: ":7879"}, ""},
+		{"replica", modeFlags{replicateFrom: "http://p:7879", wal: "data"}, ""},
+		{"coordinator member", modeFlags{coordinator: true, members: 3}, ""},
+		{"coordinator file", modeFlags{coordinator: true, membersFile: "members.txt"}, ""},
+		{"coordinator both", modeFlags{coordinator: true, members: 1, membersFile: "members.txt"}, ""},
+
+		{"static no corpus", modeFlags{}, "usage:"},
+		{"static two corpora", modeFlags{corpusArgs: 2}, "usage:"},
+		{"snapshot plus corpus", modeFlags{snapshot: "idx.pjix", corpusArgs: 1}, "usage:"},
+		{"wal two corpora", modeFlags{wal: "data", corpusArgs: 2}, "usage:"},
+		{"wal plus snapshot", modeFlags{wal: "data", snapshot: "idx.pjix"}, "-snapshot cannot be combined"},
+		{"dynamic plus save", modeFlags{dynamic: true, save: "idx.pjix"}, "-save applies to the static mode"},
+		{"repl-listen static", modeFlags{replListen: ":7879", corpusArgs: 1}, "-repl-listen requires a mutable mode"},
+		{"replica no wal", modeFlags{replicateFrom: "http://p:7879"}, "requires -wal DIR"},
+		{"replica plus dynamic", modeFlags{replicateFrom: "http://p:7879", wal: "data", dynamic: true}, "read replica"},
+		{"replica plus repl-listen", modeFlags{replicateFrom: "http://p:7879", wal: "data", replListen: ":7879"}, "mutually exclusive"},
+
+		{"coordinator no members", modeFlags{coordinator: true}, "requires at least one -member"},
+		{"coordinator plus wal", modeFlags{coordinator: true, members: 1, wal: "data"}, "cannot be combined"},
+		{"coordinator plus dynamic", modeFlags{coordinator: true, members: 1, dynamic: true}, "cannot be combined"},
+		{"coordinator plus replica", modeFlags{coordinator: true, members: 1, replicateFrom: "http://p:7879"}, "cannot be combined"},
+		{"coordinator plus repl-listen", modeFlags{coordinator: true, members: 1, replListen: ":7879"}, "cannot be combined"},
+		{"coordinator plus snapshot", modeFlags{coordinator: true, members: 1, snapshot: "idx.pjix"}, "cannot be combined"},
+		{"coordinator plus save", modeFlags{coordinator: true, members: 1, save: "idx.pjix"}, "cannot be combined"},
+		{"coordinator plus corpus", modeFlags{coordinator: true, members: 1, corpusArgs: 1}, "cannot be combined"},
+		{"member without coordinator", modeFlags{members: 1, corpusArgs: 1}, "apply only to -coordinator"},
+		{"members file without coordinator", modeFlags{membersFile: "members.txt", dynamic: true}, "apply only to -coordinator"},
+	}
+	for _, tc := range cases {
+		got := flagProblem(tc.f)
+		if tc.want == "" {
+			if got != "" {
+				t.Errorf("%s: rejected: %s", tc.name, got)
+			}
+			continue
+		}
+		if got == "" {
+			t.Errorf("%s: accepted, want diagnostic containing %q", tc.name, tc.want)
+		} else if !strings.Contains(got, tc.want) {
+			t.Errorf("%s: diagnostic %q missing %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestLoadMembers covers the -member / -members composition: explicit
+// flags first, then file lines with comments and blanks skipped.
+func TestLoadMembers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "members.txt")
+	data := "# fleet\nhttp://b:7878\n\nc=http://c:7878\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := loadMembers(coordinatorConfig{
+		members:     []string{"a=http://a:7878"},
+		membersFile: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 || ms[0].Name != "a" || ms[1].Name != "b:7878" || ms[2].Name != "c" {
+		t.Fatalf("loadMembers: %+v", ms)
+	}
+	if _, err := loadMembers(coordinatorConfig{membersFile: filepath.Join(t.TempDir(), "absent")}); err == nil {
+		t.Error("missing members file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(empty, []byte("# nothing\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadMembers(coordinatorConfig{membersFile: empty}); err == nil {
+		t.Error("empty member set accepted")
+	}
+	if _, err := loadMembers(coordinatorConfig{members: []string{"not-a-url"}}); err == nil {
+		t.Error("bad member spec accepted")
 	}
 }

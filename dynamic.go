@@ -266,6 +266,15 @@ func (ds *DynamicSearcher) Apply(m Mutation) (bool, error) {
 	return applied, nil
 }
 
+// NextID returns the id the next local Insert would assign — the
+// exclusive upper bound of the id space this searcher has seen (inserts,
+// WAL replay and Apply all advance it). A cluster coordinator reads it
+// from every member to bootstrap a global allocator that never collides
+// with an id any member already issued.
+func (ds *DynamicSearcher) NextID() int {
+	return int(ds.nextID.Load())
+}
+
 // All iterates over every live document as (id, doc) pairs, shard by
 // shard, in no particular order. Each shard's contents are captured
 // atomically under its read lock before being yielded, so the consumer

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is one member's circuit breaker. Three states:
+//
+//   - closed: the member is healthy; requests and probes flow freely.
+//   - open: the member failed repeatedly; Allow reports false until the
+//     current backoff elapses, so queries skip the member instantly
+//     (an explicit partial response) instead of burning a deadline on it.
+//   - half-open: the backoff elapsed and Allow granted exactly one trial
+//     (a /healthz probe or a live request). Success closes the breaker;
+//     failure re-opens it with the backoff doubled, up to the cap.
+//
+// Opening takes openAfter consecutive failures — one failed attempt
+// plus its retry — so a single dropped packet does not eject a member.
+type breaker struct {
+	mu       sync.Mutex
+	min, max time.Duration
+
+	state     breakerState
+	failures  int           // consecutive failures while closed
+	backoff   time.Duration // next open-state wait
+	openUntil time.Time
+
+	// now is the clock, swappable by tests for deterministic backoff.
+	now func() time.Time
+}
+
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// openAfter is the consecutive-failure count that opens a closed
+// breaker: a request attempt and its one retry both failing.
+const openAfter = 2
+
+func newBreaker(min, max time.Duration) *breaker {
+	return &breaker{min: min, max: max, backoff: min, now: time.Now}
+}
+
+// Up reports whether the breaker is closed (the member counts as
+// healthy for ownership checks, health listings and the member_up
+// metric).
+func (b *breaker) Up() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == stateClosed
+}
+
+// Allow reports whether a request or probe may be sent now. In the open
+// state it flips to half-open — granting exactly one trial — once the
+// backoff has elapsed.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if b.now().Before(b.openUntil) {
+			return false
+		}
+		b.state = stateHalfOpen
+		return true
+	default: // half-open: one trial is already in flight
+		return false
+	}
+}
+
+// Success records a successful attempt: the breaker closes and the
+// backoff resets.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = stateClosed
+	b.failures = 0
+	b.backoff = b.min
+}
+
+// Failure records a failed attempt. A half-open trial failing, or
+// openAfter consecutive failures while closed, (re)opens the breaker;
+// each open doubles the next backoff up to the cap. It reports whether
+// this call transitioned the breaker from closed to open — the caller
+// logs the member-down event exactly once.
+func (b *breaker) Failure() (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateHalfOpen:
+		b.open()
+	case stateClosed:
+		b.failures++
+		if b.failures >= openAfter {
+			b.open()
+			opened = true
+		}
+	case stateOpen:
+		// A failure observed while already open (a racing request that
+		// was in flight when the breaker opened): extend nothing, the
+		// backoff clock is already running.
+	}
+	return opened
+}
+
+// open transitions to the open state and advances the backoff. Caller
+// holds b.mu.
+func (b *breaker) open() {
+	b.state = stateOpen
+	b.failures = 0
+	b.openUntil = b.now().Add(b.backoff)
+	b.backoff *= 2
+	if b.backoff > b.max {
+		b.backoff = b.max
+	}
+}

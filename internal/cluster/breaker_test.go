@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(clock *fakeClock) *breaker {
+	b := newBreaker(250*time.Millisecond, 2*time.Second)
+	b.now = clock.now
+	return b
+}
+
+// TestBreakerCycle walks the full closed -> open -> half-open -> closed
+// cycle, including the doubled backoff on a failed half-open trial.
+func TestBreakerCycle(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clock)
+
+	if !b.Up() || !b.Allow() {
+		t.Fatal("fresh breaker must be closed and allowing")
+	}
+	// One failure: still closed (a single blip must not eject a member).
+	b.Failure()
+	if !b.Up() || !b.Allow() {
+		t.Fatal("breaker opened after a single failure")
+	}
+	// Second consecutive failure: open.
+	if opened := b.Failure(); !opened {
+		t.Fatal("second failure did not report the open transition")
+	}
+	if b.Up() || b.Allow() {
+		t.Fatal("open breaker still allowing")
+	}
+	// Backoff not elapsed: still blocked.
+	clock.advance(100 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("allowed before the 250ms backoff elapsed")
+	}
+	// Backoff elapsed: exactly one half-open trial.
+	clock.advance(200 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no half-open trial after backoff")
+	}
+	if b.Allow() {
+		t.Fatal("second trial granted while half-open")
+	}
+	if b.Up() {
+		t.Fatal("half-open must not count as up")
+	}
+	// Trial fails: re-open with doubled backoff (500ms).
+	b.Failure()
+	clock.advance(300 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("allowed 300ms into a 500ms backoff")
+	}
+	clock.advance(250 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no trial after the doubled backoff")
+	}
+	// Trial succeeds: closed, backoff reset to the minimum.
+	b.Success()
+	if !b.Up() || !b.Allow() {
+		t.Fatal("success did not close the breaker")
+	}
+	b.Failure()
+	b.Failure()
+	clock.advance(260 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("backoff was not reset to the minimum after recovery")
+	}
+}
+
+func TestBreakerBackoffCapped(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clock)
+	// Fail the half-open trial many times; the backoff must cap at 2s.
+	b.Failure()
+	b.Failure()
+	for i := 0; i < 10; i++ {
+		clock.advance(time.Hour)
+		if !b.Allow() {
+			t.Fatalf("round %d: no trial after a full hour", i)
+		}
+		b.Failure()
+	}
+	clock.advance(2*time.Second - time.Millisecond)
+	if b.Allow() {
+		t.Fatal("allowed before the capped 2s backoff elapsed")
+	}
+	clock.advance(2 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no trial after the capped backoff")
+	}
+}
+
+func TestBreakerFailureWhileOpenDoesNotExtend(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTestBreaker(clock)
+	b.Failure()
+	b.Failure() // open, 250ms
+	// A racing in-flight request fails after the breaker opened.
+	b.Failure()
+	clock.advance(260 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("failure while open extended the backoff window")
+	}
+}

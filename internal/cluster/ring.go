@@ -1,0 +1,54 @@
+package cluster
+
+// Rendezvous (highest-random-weight) hashing assigns every document id
+// to exactly one member: each member scores hash64(memberName, id) and
+// the highest score owns the id. Compared to a token ring, rendezvous
+// needs no virtual-node bookkeeping, gives every member an equal share
+// in expectation, and has the minimal-disruption property the rebalance
+// story depends on — adding or removing a member only remaps the ids
+// that member gains or loses, every other (id, owner) pair is unchanged.
+//
+// Balance note: uniform-share hashing is the right default while member
+// hardware is homogeneous. The sampling-based load estimation of
+// "Improving Distributed Similarity Join in Metric Space with
+// Error-bounded Sampling" (PAPERS.md) slots in here as a per-member
+// weight (score scaled by capacity) once heterogeneous members matter.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// rendezvousScore is FNV-1a over the member name, a separator, and the
+// id's little-endian bytes — cheap, allocation-free, and well mixed for
+// the dense small integers document ids are.
+func rendezvousScore(name string, id int64) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime64
+	}
+	h ^= 0xff // separator: name must not blend into the id bytes
+	h *= fnvPrime64
+	u := uint64(id)
+	for i := 0; i < 8; i++ {
+		h ^= (u >> (8 * i)) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// ownerOf picks the highest-scoring member for id; score ties (vanishing
+// in practice) break toward the lexicographically smallest name so every
+// caller agrees. members must be non-empty.
+func ownerOf(members []*member, id int64) *member {
+	best := members[0]
+	bestScore := rendezvousScore(best.Name, id)
+	for _, m := range members[1:] {
+		s := rendezvousScore(m.Name, id)
+		if s > bestScore || (s == bestScore && m.Name < best.Name) {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testMembers(names ...string) []*member {
+	out := make([]*member, len(names))
+	for i, n := range names {
+		out[i] = &member{Member: Member{Name: n, URL: "http://" + n}}
+	}
+	return out
+}
+
+func TestOwnerDeterministic(t *testing.T) {
+	a := testMembers("m1", "m2", "m3")
+	b := testMembers("m3", "m1", "m2") // same set, different order
+	for id := int64(0); id < 2000; id++ {
+		oa := ownerOf(a, id)
+		ob := ownerOf(b, id)
+		if oa.Name != ob.Name {
+			t.Fatalf("id %d: owner depends on member order (%s vs %s)", id, oa.Name, ob.Name)
+		}
+	}
+}
+
+// TestOwnerMinimalDisruption pins the rendezvous property the rebalance
+// story depends on: removing one member only remaps the ids it owned,
+// and adding one only steals ids for itself.
+func TestOwnerMinimalDisruption(t *testing.T) {
+	full := testMembers("m1", "m2", "m3", "m4")
+	without := testMembers("m1", "m2", "m4")
+	const n = 5000
+	for id := int64(0); id < n; id++ {
+		before := ownerOf(full, id)
+		after := ownerOf(without, id)
+		if before.Name != "m3" && before.Name != after.Name {
+			t.Fatalf("id %d moved from %s to %s although m3 left", id, before.Name, after.Name)
+		}
+		if before.Name == "m3" && after.Name == "m3" {
+			t.Fatalf("id %d still owned by removed m3", id)
+		}
+	}
+}
+
+func TestOwnerBalance(t *testing.T) {
+	ms := testMembers("alpha:7878", "bravo:7878", "charlie:7878")
+	const n = 9000
+	counts := map[string]int{}
+	for id := int64(0); id < n; id++ {
+		counts[ownerOf(ms, id).Name]++
+	}
+	want := n / len(ms)
+	for name, got := range counts {
+		if got < want/2 || got > want*2 {
+			t.Errorf("member %s owns %d of %d ids (expected near %d): badly unbalanced", name, got, n, want)
+		}
+	}
+	if len(counts) != len(ms) {
+		t.Fatalf("only %d of %d members own anything: %v", len(counts), len(ms), counts)
+	}
+}
+
+func TestOwnerManyMemberCounts(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("node-%d:7878", i)
+		}
+		ms := testMembers(names...)
+		seen := map[string]bool{}
+		for id := int64(0); id < 4000; id++ {
+			seen[ownerOf(ms, id).Name] = true
+		}
+		if len(seen) != n {
+			t.Errorf("n=%d: only %d members own ids", n, len(seen))
+		}
+	}
+}

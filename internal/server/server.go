@@ -55,6 +55,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"iter"
 	"log/slog"
 	"net/http"
 	"runtime"
@@ -92,6 +93,27 @@ type MutableIndex interface {
 	// — surfaced on /v1/stats so operators see a wedged compactor long
 	// before shutdown.
 	Err() error
+}
+
+// applier is the explicit-id write contract of passjoin.DynamicSearcher:
+// a cluster coordinator allocates document ids globally and pushes each
+// write to its owning member with the id already chosen, riding the same
+// idempotent per-id path replication replay uses.
+type applier interface {
+	Apply(passjoin.Mutation) (bool, error)
+}
+
+// allLister is the bulk-listing contract both searcher kinds satisfy;
+// GET /v1/docs streams it out as NDJSON so a coordinator can enumerate a
+// member's corpus during a rebalance.
+type allLister interface {
+	All() iter.Seq2[int, string]
+}
+
+// idAllocator exposes the exclusive upper bound of the id space a
+// mutable index has seen; /v1/stats surfaces it as next_id.
+type idAllocator interface {
+	NextID() int
 }
 
 // StatsProvider is the live-counter contract a read-only dynamic index
@@ -266,6 +288,14 @@ func New(idx Index, indexStats *passjoin.Stats, cfg Config) *Server {
 		allow["/v1/docs"] = "POST"
 		allow["/v1/docs/{id}"] = "GET, DELETE"
 	}
+	if _, ok := idx.(allLister); ok {
+		handle("GET", "/v1/docs", s.handleListDocs)
+		if strings.Contains(allow["/v1/docs"], "POST") {
+			allow["/v1/docs"] = "GET, POST"
+		} else {
+			allow["/v1/docs"] = "GET"
+		}
+	}
 	// Method-less fallbacks: a wrong-method hit on a known route answers
 	// a JSON 405 with an Allow header instead of the mux default (the
 	// method-specific patterns above are more specific, so they keep
@@ -345,8 +375,12 @@ type JoinPair struct {
 }
 
 // DocRequest is the body of POST /v1/docs. Doc must be present (an empty
-// string is a valid document).
+// string is a valid document). ID, when present, inserts under that
+// exact document id instead of allocating one — the cluster
+// coordinator's routed-write form, applied idempotently: re-sending an
+// id the index already holds changes nothing and still succeeds.
 type DocRequest struct {
+	ID  *int    `json:"id,omitempty"`
 	Doc *string `json:"doc"`
 }
 
@@ -363,10 +397,16 @@ type DocResponse struct {
 // Delta*/Tombstones/Compactions/WAL* fields describe the dynamic write
 // path and stay zero for a static index.
 type StatsResponse struct {
-	Strings       int     `json:"strings"`
-	Tau           int     `json:"tau"`
-	Shards        int     `json:"shards"`
-	Mutable       bool    `json:"mutable"`
+	Strings int  `json:"strings"`
+	Tau     int  `json:"tau"`
+	Shards  int  `json:"shards"`
+	Mutable bool `json:"mutable"`
+	// NextID is the exclusive upper bound of the document-id space this
+	// index has seen — the id the next plain insert would take. A static
+	// index reports its corpus size (ids are 0..strings-1). Cluster
+	// coordinators max this over all members to seed the global
+	// allocator.
+	NextID        int     `json:"next_id"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Queries       int64   `json:"queries"`
 	Matches       int64   `json:"matches"`
@@ -600,6 +640,27 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing doc field")
 		return
 	}
+	if req.ID != nil {
+		ap, ok := s.dyn.(applier)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "this index does not accept explicit-id inserts")
+			return
+		}
+		if *req.ID < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid document id %d", *req.ID))
+			return
+		}
+		applied, err := ap.Apply(passjoin.Mutation{ID: *req.ID, Doc: *req.Doc})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if applied {
+			s.inserts.Add(1)
+		}
+		writeJSON(w, http.StatusCreated, DocResponse{ID: *req.ID, Doc: *req.Doc})
+		return
+	}
 	id, err := s.dyn.Insert(*req.Doc)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -607,6 +668,26 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	s.inserts.Add(1)
 	writeJSON(w, http.StatusCreated, DocResponse{ID: id, Doc: *req.Doc})
+}
+
+// handleListDocs streams every live document as NDJSON {"id":n,"doc":s}
+// records in whatever order the index yields them. A coordinator's
+// rebalance enumerates each member through this route; it is cheap
+// enough for operators too (the capture is per-shard, never a global
+// lock).
+func (s *Server) handleListDocs(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	n := 0
+	for id, doc := range s.idx.(allLister).All() {
+		if err := enc.Encode(DocResponse{ID: id, Doc: doc}); err != nil {
+			return // client went away
+		}
+		if n++; flusher != nil && n%joinFlushEvery == 0 {
+			flusher.Flush()
+		}
+	}
 }
 
 func (s *Server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
@@ -812,8 +893,10 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request, self bool) {
 	clientGone := false
 	yield := func(ri, si int) bool {
 		left := rset[ri]
-		right := rset[si]
-		if !self {
+		var right string
+		if self {
+			right = rset[si]
+		} else {
 			right = sset[si]
 		}
 		if !wrote {
@@ -946,11 +1029,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st := s.cfg.ReplStatus()
 		replStatus = &st
 	}
+	nextID := s.idx.Len()
+	if alloc, ok := s.idx.(idAllocator); ok {
+		nextID = alloc.NextID()
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Strings:       s.idx.Len(),
 		Tau:           s.idx.Tau(),
 		Shards:        s.idx.NumShards(),
 		Mutable:       s.dyn != nil,
+		NextID:        nextID,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Queries:       s.queries.Load(),
 		Matches:       s.matches.Load(),

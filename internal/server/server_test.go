@@ -586,7 +586,8 @@ func TestDocsBadRequests(t *testing.T) {
 }
 
 // TestDocsRoutesAbsentOnStaticIndex: a read-only server must not expose
-// the write path at all.
+// the write path. The collection route still exists for GET (document
+// listing), so a write answers 405 naming GET as the only method.
 func TestDocsRoutesAbsentOnStaticIndex(t *testing.T) {
 	corpus := testCorpus(t, 30)
 	_, ts := newTestServer(t, corpus, 2, 2, Config{})
@@ -595,8 +596,11 @@ func TestDocsRoutesAbsentOnStaticIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
+	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("static insert: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Allow"); got != "GET" {
+		t.Fatalf("static insert: Allow %q want %q", got, "GET")
 	}
 }
 
@@ -619,7 +623,7 @@ func TestMethodNotAllowed(t *testing.T) {
 		{"GET", "/v1/join/self", "POST"},
 		{"DELETE", "/v1/stats", "GET"},
 		{"POST", "/healthz", "GET"},
-		{"DELETE", "/v1/docs", "POST"},
+		{"DELETE", "/v1/docs", "GET, POST"},
 		{"POST", "/v1/docs/7", "GET, DELETE"},
 	}
 	for _, c := range cases {

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Trigger a cluster rebalance after editing the member list: asks the
+# coordinator to move every document onto its current rendezvous owner.
+# Requires every member healthy (the coordinator answers 409 otherwise).
+#
+#   ./scripts/cluster_rebalance.sh [http://coordinator:7878]
+set -euo pipefail
+
+coord=${1:-http://127.0.0.1:7878}
+
+echo "== member health at $coord"
+curl -fsS "$coord/healthz"
+echo
+
+echo "== rebalancing"
+code=$(curl -s -o /tmp/rebalance.$$ -w '%{http_code}' -X POST "$coord/v1/cluster/rebalance")
+cat /tmp/rebalance.$$
+echo
+rm -f /tmp/rebalance.$$
+case "$code" in
+  200) echo "== OK" ;;
+  409) echo "== refused: a member is down (rebalance moves data and needs the full fleet)" >&2; exit 1 ;;
+  *)   echo "== failed with HTTP $code" >&2; exit 1 ;;
+esac

@@ -141,6 +141,20 @@ func (ss *ShardedSearcher) Get(id int) (string, bool) {
 	return ss.At(id), true
 }
 
+// All iterates over every corpus string as (id, doc) pairs in ascending
+// id order — the static counterpart of DynamicSearcher.All, so the
+// serving layer's document-listing endpoint works over either index
+// kind.
+func (ss *ShardedSearcher) All() iter.Seq2[int, string] {
+	return func(yield func(int, string) bool) {
+		for id := 0; id < ss.total; id++ {
+			if !yield(id, ss.At(id)) {
+				return
+			}
+		}
+	}
+}
+
 // Search returns every corpus string within the threshold of q — the
 // build threshold, or any smaller per-query threshold given with QueryTau
 // — sorted by ascending distance (ties by corpus index). It is safe for
